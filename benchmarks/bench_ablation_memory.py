@@ -1,0 +1,57 @@
+"""Ablation C: memory-cell reuse vs the naive per-edge allocation.
+
+Paper Fig. 3 allocates cells per inter-unit edge from a base address;
+our allocator adds lifetime-based reuse.  This benchmark quantifies the
+footprint saving on several workloads and asserts reuse never loses.
+"""
+
+import random
+
+from repro.apps import four_band_equalizer, fuzzy_controller, random_task_graph
+from repro.estimate import CostModel
+from repro.graph import from_mapping
+from repro.platform import cool_board
+from repro.schedule import list_schedule
+from repro.stg import allocate_memory
+
+WORKLOADS = [
+    ("equalizer", lambda: four_band_equalizer(words=16), 2),
+    ("fuzzy", fuzzy_controller, 3),
+    ("random_30", lambda: random_task_graph(30, seed=9), 4),
+    ("random_60", lambda: random_task_graph(60, seed=10), 5),
+]
+
+
+def sweep():
+    arch = cool_board()
+    rows = []
+    for name, build, pseed in WORKLOADS:
+        graph = build()
+        rng = random.Random(pseed)
+        mapping = {node.name: rng.choice(arch.resource_names)
+                   for node in graph.internal_nodes()}
+        partition = from_mapping(graph, mapping, arch.fpga_names,
+                                 arch.processor_names)
+        schedule = list_schedule(partition, CostModel(graph, arch))
+        reuse = allocate_memory(schedule, arch, reuse=True)
+        naive = allocate_memory(schedule, arch, reuse=False)
+        rows.append((name, len(partition.cut_edges()), reuse, naive))
+    return rows
+
+
+def test_ablation_memory_reuse(benchmark, run_once):
+    rows = run_once(benchmark, sweep)
+
+    print("\nAblation C -- memory footprint (words):")
+    print(f"  {'workload':<11} {'cut edges':>9} {'naive':>7} "
+          f"{'reuse':>7} {'saving':>7}")
+    for name, cut, reuse, naive in rows:
+        assert reuse.validate() == []
+        assert naive.validate() == []
+        assert reuse.words_used <= naive.words_used
+        saving = 1 - reuse.words_used / max(naive.words_used, 1)
+        print(f"  {name:<11} {cut:>9} {naive.words_used:>7} "
+              f"{reuse.words_used:>7} {saving:>7.0%}")
+
+    # at least one workload must show real sharing
+    assert any(r.words_used < n.words_used for _, _, r, n in rows)

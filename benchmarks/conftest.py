@@ -1,0 +1,14 @@
+"""Shared fixtures/helpers for the reproduction benchmarks."""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive pipeline exactly once per round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

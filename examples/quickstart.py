@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: run the complete COOL flow on the 4-band equalizer.
+
+Builds the equalizer task graph of paper Fig. 2, partitions it onto a
+DSP56001 + XC4005 board with the MILP engine, co-synthesizes the
+communicating controllers, generates VHDL/C/netlist, and co-simulates
+the result against the reference interpreter.
+"""
+
+from repro.apps import four_band_equalizer
+from repro.flow import CoolFlow
+from repro.graph import execute
+from repro.platform import minimal_board
+from repro.schedule import gantt_chart
+
+
+def main() -> None:
+    graph = four_band_equalizer(words=16)
+    stimuli = {"x": [100, 50, -25 & 0xFFFF, 75] + [0] * 12}
+
+    flow = CoolFlow(minimal_board())
+    result = flow.run(graph, stimuli=stimuli)
+
+    print(result.report())
+    print()
+    print("static schedule:")
+    print(gantt_chart(result.partition_result.schedule))
+    print()
+
+    reference = execute(graph, stimuli)
+    simulated = result.sim_result.outputs["y"]
+    print(f"reference output : {reference['y']}")
+    print(f"co-simulated     : {simulated}")
+    print(f"match            : {simulated == reference['y']}")
+
+    print()
+    print("generated files:")
+    for name in sorted(result.vhdl_files):
+        print(f"  {name:<24} {len(result.vhdl_files[name].splitlines())} lines")
+    for name in sorted(result.c_files):
+        print(f"  {name:<24} {len(result.c_files[name].splitlines())} lines")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools predates built-in wheel support (PEP 660 editable installs
+would otherwise require the ``wheel`` package).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

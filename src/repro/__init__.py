@@ -1,0 +1,34 @@
+"""repro: reproduction of the COOL hardware/software co-design framework.
+
+Implements coupled hardware/software partitioning and co-synthesis of
+communicating controllers (Niemann & Marwedel, DATE 1998): VHDL-subset
+system specification, cost estimation, MILP/heuristic/GA partitioning,
+static scheduling, state/transition-graph generation with state
+minimization and memory allocation, communication refinement, synthesis
+of system / data-path / I/O controllers and bus arbiters, OSCAR-style
+high-level synthesis, VHDL + C code generation, board netlists, and a
+discrete-event co-simulator that validates the synthesized system
+against a functional reference.
+
+Quickstart::
+
+    from repro.apps import four_band_equalizer
+    from repro.flow import CoolFlow
+    from repro.platform import minimal_board
+
+    graph = four_band_equalizer()
+    stimuli = {"x": list(range(16))}
+    result = CoolFlow(minimal_board()).run(graph, stimuli=stimuli)
+    print(result.report())
+"""
+
+__version__ = "1.0.0"
+
+from . import (apps, codegen, comm, controllers, estimate, flow, graph, hls,
+               partition, platform, schedule, sim, spec, stg)  # noqa: F401
+
+__all__ = [
+    "apps", "codegen", "comm", "controllers", "estimate", "flow", "graph",
+    "hls", "partition", "platform", "schedule", "sim", "spec", "stg",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Application workloads: equalizer (Fig. 2), fuzzy controller (Section 3),
+random TGFF-style graphs for comparisons and scaling studies."""
+
+from . import dct, equalizer, fuzzy, random_graphs
+from .dct import dct_stage
+from .equalizer import four_band_equalizer
+from .fuzzy import control_surface, fuzzy_controller, fuzzy_spec_text
+from .random_graphs import random_task_graph
+
+__all__ = [
+    "dct", "equalizer", "fuzzy", "random_graphs", "dct_stage",
+    "four_band_equalizer", "control_surface", "fuzzy_controller",
+    "fuzzy_spec_text", "random_task_graph",
+]

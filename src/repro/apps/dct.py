@@ -1,0 +1,100 @@
+"""An 8-point DCT-style transform stage (JPEG-flavoured workload).
+
+The paper targets "data-flow dominated applications"; next to the
+equalizer and the fuzzy controller, this module provides the classic
+third workload of the era: a row transform of a block codec.  The
+transform is an integer 8-point DCT-II built from the library's
+executable node kinds (gains for the cosine factors, adds for the
+butterfly sums), so the whole system remains functionally checkable.
+
+Structure (for ``points`` = 8):
+
+* one input node delivering a block of 8 samples;
+* one ``select`` node per sample (the de-interleave stage);
+* per output coefficient: 8 ``gain`` nodes (sample x rounded cosine
+  factor) folded by a binary ``add`` tree -- the dominant MAC workload
+  that makes hardware mapping attractive;
+* a ``concat`` node packing the coefficients, feeding the output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.taskgraph import TaskGraph, make_node
+from ..graph.validate import check_graph
+
+__all__ = ["dct_stage", "dct_factor"]
+
+#: Fixed-point scale of the cosine factors (Q6: factor 64 = 1.0).
+FACTOR_SCALE = 64
+
+
+def dct_factor(k: int, n: int, points: int) -> int:
+    """Rounded DCT-II cosine factor ``c_k * cos(pi*(2n+1)k / 2N)`` in Q6."""
+    c = math.sqrt(1.0 / points) if k == 0 else math.sqrt(2.0 / points)
+    value = c * math.cos(math.pi * (2 * n + 1) * k / (2 * points))
+    return round(value * FACTOR_SCALE)
+
+
+def dct_stage(points: int = 8, coefficients: int | None = None,
+              width: int = 16) -> TaskGraph:
+    """Build the DCT row-transform task graph.
+
+    ``coefficients`` limits how many output coefficients are computed
+    (defaults to all ``points``); fewer coefficients model the
+    low-frequency-only stages common in codecs.
+    """
+    if points < 2:
+        raise ValueError("dct needs at least two points")
+    n_coeff = coefficients if coefficients is not None else points
+    if not 1 <= n_coeff <= points:
+        raise ValueError(f"coefficients must be in 1..{points}")
+
+    graph = TaskGraph(f"dct{points}x{n_coeff}")
+    graph.add_node(make_node("block", "input", width=width, words=points))
+
+    for n in range(points):
+        graph.add_node(make_node(f"s{n}", "select", {"index": n},
+                                 width=width, words=1))
+        graph.add_edge("block", f"s{n}")
+
+    coeff_nodes = []
+    for k in range(n_coeff):
+        terms = []
+        for n in range(points):
+            name = f"m{k}_{n}"
+            graph.add_node(make_node(
+                name, "gain",
+                {"factor": dct_factor(k, n, points), "shift": 0},
+                width=width, words=1))
+            graph.add_edge(f"s{n}", name)
+            terms.append(name)
+        # binary adder tree
+        level = 0
+        while len(terms) > 1:
+            next_terms = []
+            for i in range(0, len(terms) - 1, 2):
+                name = f"a{k}_{level}_{i // 2}"
+                graph.add_node(make_node(name, "add", width=width, words=1))
+                graph.add_edge(terms[i], name)
+                graph.add_edge(terms[i + 1], name)
+                next_terms.append(name)
+            if len(terms) % 2:
+                next_terms.append(terms[-1])
+            terms = next_terms
+            level += 1
+        # descale the Q6 factors
+        graph.add_node(make_node(f"c{k}", "shift", {"amount": 6},
+                                 width=width, words=1))
+        graph.add_edge(terms[0], f"c{k}")
+        coeff_nodes.append(f"c{k}")
+
+    graph.add_node(make_node("pack", "concat", width=width, words=n_coeff))
+    for name in coeff_nodes:
+        graph.add_edge(name, "pack")
+    graph.add_node(make_node("coeffs", "output", width=width, words=n_coeff))
+    graph.add_edge("pack", "coeffs")
+
+    check_graph(graph)
+    return graph

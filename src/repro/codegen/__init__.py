@@ -1,0 +1,12 @@
+"""Code generation: VHDL, C, board netlists, and structural checking."""
+
+from .vhdl import HEADER, datapath_to_vhdl, fsm_to_vhdl
+from .vhdl_check import VhdlCheckError, check_vhdl
+from .c import node_function_c, software_to_c
+from .netlist import Component, Net, Netlist, generate_netlist, netlist_text
+
+__all__ = [
+    "HEADER", "datapath_to_vhdl", "fsm_to_vhdl", "VhdlCheckError",
+    "check_vhdl", "node_function_c", "software_to_c", "Component", "Net",
+    "Netlist", "generate_netlist", "netlist_text",
+]

@@ -1,0 +1,194 @@
+"""C code generation for the software partition.
+
+COOL generates "software specifications for compilation in C" (paper
+Section 2).  For every processor the emitter produces one translation
+unit:
+
+* one C function per task node mapped to that processor, implementing
+  the node's functional semantics (FIR loops, fuzzification tables,
+  centre-of-gravity division, ...);
+* memory-mapped I/O: the addresses of the node's input/output memory
+  cells come straight from the co-synthesis memory map, and the
+  start/done handshake with the system controller uses volatile control
+  registers;
+* a main loop that walks the processor's schedule order -- the software
+  mirror of the sequencer FSM the system controller runs in hardware.
+"""
+
+from __future__ import annotations
+
+from ..comm.refine import CommPlan
+from ..graph.partition import Partition
+from ..graph.taskgraph import TaskGraph, TaskNode
+from ..schedule.schedule import Schedule
+
+__all__ = ["software_to_c", "node_function_c"]
+
+#: Control-register base: one start and one done bit per node, indexed
+#: by the node's position in the processor's schedule.
+CONTROL_BASE = 0x0F00
+
+
+def _body_of(node: TaskNode, graph: TaskGraph) -> list[str]:
+    """C statements computing the node's outputs from `in0..inN`."""
+    params = node.params
+    kind = node.kind
+    w = node.words
+    lines: list[str] = []
+    if kind == "copy" or kind == "output":
+        lines.append(f"for (i = 0; i < {w}; i++) out[i] = in0[i];")
+    elif kind == "gain":
+        factor = params.get("factor", 1)
+        shift = params.get("shift", 0)
+        lines.append(f"for (i = 0; i < {w}; i++) "
+                     f"out[i] = (in0[i] * {factor}) >> {shift};")
+    elif kind == "fir":
+        taps = params["taps"]
+        shift = params.get("shift", 0)
+        lines.append(f"static const int taps[{len(taps)}] = "
+                     "{" + ", ".join(str(t) for t in taps) + "};")
+        lines.append(f"for (i = 0; i < {w}; i++) {{")
+        lines.append("  long acc = 0;")
+        lines.append(f"  for (j = 0; j < {len(taps)}; j++)")
+        lines.append("    if (i - j >= 0) acc += (long)taps[j] * in0[i - j];")
+        lines.append(f"  out[i] = (int)(acc >> {shift});")
+        lines.append("}")
+    elif kind in ("add", "sub", "mul", "min", "max"):
+        op = {"add": "in0[i] + in1[i]", "sub": "in0[i] - in1[i]",
+              "mul": "in0[i] * in1[i]",
+              "min": "in0[i] < in1[i] ? in0[i] : in1[i]",
+              "max": "in0[i] > in1[i] ? in0[i] : in1[i]"}[kind]
+        lines.append(f"for (i = 0; i < {w}; i++) out[i] = {op};")
+    elif kind == "sum":
+        arity = params.get("arity", 2)
+        terms = " + ".join(f"in{k}[i]" for k in range(arity))
+        lines.append(f"for (i = 0; i < {w}; i++) out[i] = {terms};")
+    elif kind == "select":
+        lines.append(f"for (i = 0; i < {w}; i++) "
+                     f"out[i] = in0[{params['index']}];")
+    elif kind == "concat":
+        lines.append("j = 0;")
+        # arity derives from the in-edges; emitted by the caller
+        lines.append("/* concatenation filled in by caller */")
+    elif kind == "fuzzify":
+        sets = params["sets"]
+        scale = params.get("scale", 255)
+        lines.append("int k = 0;")
+        lines.append("for (i = 0; i < %d; i++) {" % max(1, w // len(sets)))
+        for a, b, c in sets:
+            lines.append(f"  out[k++] = fuzz_tri(in0[i], {a}, {b}, {c}, "
+                         f"{scale});")
+        lines.append("}")
+    elif kind == "defuzz":
+        centroids = params["centroids"]
+        lines.append(f"static const int cent[{len(centroids)}] = "
+                     "{" + ", ".join(str(c) for c in centroids) + "};")
+        lines.append("long num = 0, den = 0;")
+        lines.append(f"for (i = 0; i < {len(centroids)}; i++) "
+                     "{ num += (long)in0[i] * cent[i]; den += in0[i]; }")
+        lines.append(f"for (i = 0; i < {w}; i++) "
+                     "out[i] = den ? (int)(num / den) : 0;")
+    else:
+        # generic and remaining kinds: deterministic mixing, matching
+        # repro.graph.semantics exactly is only needed for generic
+        lines.append("/* behavioural kind '%s': host-evaluated in */"
+                     % kind)
+        lines.append("/* co-simulation; the C body is schematic.   */")
+        lines.append(f"for (i = 0; i < {w}; i++) out[i] = in0 ? in0[i] : 0;")
+    return lines
+
+
+def node_function_c(node: TaskNode, graph: TaskGraph) -> str:
+    """One C function implementing ``node``'s behaviour."""
+    n_inputs = len(graph.in_edges(node.name))
+    args = ", ".join([f"const int *in{i}" for i in range(max(n_inputs, 1))]
+                     + ["int *out"])
+    lines = [f"/* {node.kind} ({node.words}x{node.width} bit) */",
+             f"static void f_{node.name}({args})", "{",
+             "  int i = 0, j = 0; (void)i; (void)j;"]
+    for statement in _body_of(node, graph):
+        lines.append("  " + statement)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def software_to_c(graph: TaskGraph, partition: Partition,
+                  schedule: Schedule, plan: CommPlan,
+                  processor: str) -> str:
+    """The complete C program of one processor."""
+    order = [e.node for e in schedule.on_resource(processor)]
+    lines = [
+        f"/* Generated by repro (COOL co-synthesis reproduction).",
+        f" * Software partition of {graph.name!r} for processor "
+        f"{processor!r}.",
+        " * Schedule order: " + (", ".join(order) if order else "(empty)"),
+        " */",
+        "",
+        "#include <stdint.h>",
+        "",
+        f"#define CTRL_BASE 0x{CONTROL_BASE:04X}",
+        "#define START_REG(n) (*(volatile int *)(CTRL_BASE + 2 * (n)))",
+        "#define DONE_REG(n)  (*(volatile int *)(CTRL_BASE + 2 * (n) + 1))",
+        "",
+        "static int fuzz_tri(int x, int a, int b, int c, int scale)",
+        "{",
+        "  if (x <= a || x >= c) return 0;",
+        "  if (x <= b) return scale * (x - a) / (b - a ? b - a : 1);",
+        "  return scale * (c - x) / (c - b ? c - b : 1);",
+        "}",
+        "",
+    ]
+
+    # memory-mapped cell addresses for this processor's cut edges
+    for edge in graph.edges:
+        if edge.name not in plan.channels:
+            continue
+        channel = plan.channel(edge.name)
+        touches_proc = processor in (
+            partition.resource_of(edge.src), partition.resource_of(edge.dst))
+        if channel.is_memory_mapped and touches_proc:
+            cell = channel.cell
+            lines.append(
+                f"#define MEM_{edge.name.upper()} "
+                f"((volatile int *)0x{cell.address:04X}) "
+                f"/* {cell.words} words */")
+    lines.append("")
+
+    # local buffers for values produced and consumed on this processor
+    for name in order:
+        node = graph.node(name)
+        lines.append(f"static int buf_{name}[{node.words}];")
+    lines.append("")
+
+    for name in order:
+        lines.append(node_function_c(graph.node(name), graph))
+        lines.append("")
+
+    lines.append("int main(void)")
+    lines.append("{")
+    lines.append("  for (;;) {")
+    for index, name in enumerate(order):
+        node = graph.node(name)
+        lines.append(f"    /* node {name} ({node.kind}) */")
+        lines.append(f"    while (!START_REG({index})) {{ /* wait */ }}")
+        call_args = []
+        for edge in graph.in_edges(name):
+            if partition.resource_of(edge.src) == processor:
+                call_args.append(f"buf_{edge.src}")
+            else:
+                call_args.append(f"(const int *)MEM_{edge.name.upper()}")
+        if not call_args:
+            call_args.append("0")
+        lines.append(f"    f_{name}({', '.join(call_args)}, buf_{name});")
+        for edge in graph.out_edges(name):
+            if partition.resource_of(edge.dst) != processor \
+                    and edge.name in plan.channels \
+                    and plan.channel(edge.name).is_memory_mapped:
+                lines.append(f"    for (int i = 0; i < {edge.words}; i++)")
+                lines.append(f"      MEM_{edge.name.upper()}[i] = "
+                             f"buf_{name}[i];")
+        lines.append(f"    DONE_REG({index}) = 1;")
+    lines.append("  }")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

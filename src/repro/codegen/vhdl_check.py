@@ -1,0 +1,89 @@
+"""Structural checking of generated VHDL.
+
+The 1998 flow handed the generated VHDL to Synopsys; offline, this
+module plays the front-end acceptance role: it tokenizes the text and
+checks the structural invariants that catch real emitter bugs --
+balanced design units and compound statements, declared-before-driven
+signals, port/entity consistency.  It is intentionally not a full VHDL
+parser; it is the contract the code generator is tested against.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["check_vhdl", "VhdlCheckError"]
+
+
+class VhdlCheckError(ValueError):
+    """Raised by :func:`check_vhdl` when the text is malformed."""
+
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("--", 1)[0] for line in text.splitlines())
+
+
+def check_vhdl(text: str) -> list[str]:
+    """Return a list of structural problems (empty = accepted)."""
+    problems: list[str] = []
+    code = _strip_comments(text)
+    lower = code.lower()
+
+    # ------------------------------------------------------------------
+    # bracket-style balance of compound constructs
+    # ------------------------------------------------------------------
+    counts = {
+        "entity": len(re.findall(r"\bentity\s+\w+\s+is\b", lower)),
+        "end entity": len(re.findall(r"\bend\s+entity\b", lower)),
+        "architecture": len(re.findall(
+            r"\barchitecture\s+\w+\s+of\b", lower)),
+        "end architecture": len(re.findall(r"\bend\s+architecture\b", lower)),
+        "process": len(re.findall(r"\bprocess\b\s*\(", lower)),
+        "end process": len(re.findall(r"\bend\s+process\b", lower)),
+        "case": len(re.findall(r"(?<!end )\bcase\b", lower)),
+        "end case": len(re.findall(r"\bend\s+case\b", lower)),
+    }
+    for opener, closer in (("entity", "end entity"),
+                           ("architecture", "end architecture"),
+                           ("process", "end process"),
+                           ("case", "end case")):
+        if counts[opener] != counts[closer]:
+            problems.append(f"unbalanced {opener}: {counts[opener]} opened, "
+                            f"{counts[closer]} closed")
+
+    # if/end if balance ("elsif" never matches \bif\b; "end if" excluded)
+    n_if = len(re.findall(r"(?<!end )\bif\b", lower))
+    n_end_if = len(re.findall(r"\bend\s+if\b", lower))
+    if n_if != n_end_if:
+        problems.append(f"unbalanced if: {n_if} opened, {n_end_if} closed")
+
+    # ------------------------------------------------------------------
+    # declared-before-driven: every `x <=` target must be a declared
+    # signal, port or variable
+    # ------------------------------------------------------------------
+    declared: set[str] = set()
+    for m in re.finditer(r"\bsignal\s+([\w\s,]+?):", lower):
+        for name in m.group(1).split(","):
+            declared.add(name.strip())
+    # ports: "name : in|out|inout type"
+    for m in re.finditer(r"(\w+)\s*:\s*(?:in|out|inout)\b", lower):
+        declared.add(m.group(1))
+    # array-typed signals used with indexing: regs(0) etc. handled by
+    # stripping the index before lookup
+    for m in re.finditer(r"^\s*(\w+)\s*(?:\([\w\s+*-]+\))?\s*<=", lower,
+                         re.MULTILINE):
+        target = m.group(1)
+        if target not in declared:
+            problems.append(f"assignment to undeclared signal {target!r}")
+
+    # each architecture must reference an existing entity
+    entities = {m.group(1) for m in
+                re.finditer(r"\bentity\s+(\w+)\s+is\b", lower)}
+    for m in re.finditer(r"\barchitecture\s+\w+\s+of\s+(\w+)\s+is\b", lower):
+        if m.group(1) not in entities:
+            problems.append(f"architecture of unknown entity {m.group(1)!r}")
+
+    return problems

@@ -1,0 +1,10 @@
+"""Communication synthesis: channels, protocols, refinement."""
+
+from .channels import AbstractChannel, channels_of
+from .protocols import DIRECT, MEMORY_MAPPED, Protocol
+from .refine import CommPlan, RefinedChannel, refine_communication
+
+__all__ = [
+    "AbstractChannel", "channels_of", "DIRECT", "MEMORY_MAPPED", "Protocol",
+    "CommPlan", "RefinedChannel", "refine_communication",
+]

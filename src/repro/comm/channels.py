@@ -1,0 +1,44 @@
+"""Abstract communication channels.
+
+After partitioning, every cut edge of the coloured graph is an abstract
+channel: a producer unit, a consumer unit, a payload shape.  Co-synthesis
+replaces these abstractions with concrete mechanisms
+(:mod:`repro.comm.refine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.partition import Partition
+
+__all__ = ["AbstractChannel", "channels_of"]
+
+
+@dataclass(frozen=True)
+class AbstractChannel:
+    """One inter-unit data transfer before mechanism selection."""
+
+    edge: str
+    producer_unit: str
+    consumer_unit: str
+    width: int
+    words: int
+
+    @property
+    def bits(self) -> int:
+        return self.width * self.words
+
+
+def channels_of(partition: Partition) -> list[AbstractChannel]:
+    """All abstract channels of a partition, in graph edge order."""
+    out = []
+    for edge in partition.cut_edges():
+        out.append(AbstractChannel(
+            edge=edge.name,
+            producer_unit=partition.resource_of(edge.src),
+            consumer_unit=partition.resource_of(edge.dst),
+            width=edge.width,
+            words=edge.words,
+        ))
+    return out

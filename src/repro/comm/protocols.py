@@ -1,0 +1,54 @@
+"""Communication protocol definitions.
+
+Declarative descriptions of the two mechanisms COOL inserts ("memory
+mapped I/O and direct communication", paper Section 2).  Code generation
+emits the port lists and the co-simulator uses the timing fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Protocol", "MEMORY_MAPPED", "DIRECT"]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Timing and signalling contract of one communication mechanism."""
+
+    name: str
+    #: signals added to both endpoints (per channel)
+    signals: tuple[str, ...]
+    #: does the transfer occupy the shared bus?
+    uses_bus: bool
+    #: fixed cycles per transferred word once granted
+    cycles_per_word: int
+    #: handshake overhead in cycles per burst
+    handshake_cycles: int
+
+    def burst_cycles(self, words: int) -> int:
+        """Cycles of one burst of ``words`` payload words."""
+        return self.handshake_cycles + self.cycles_per_word * max(words, 0)
+
+
+#: Shared-memory communication over the system bus: the producer writes
+#: its memory cells, the consumer later reads them (two bus bursts, both
+#: arbitrated).  Address/data/strobe signalling, as on the paper's
+#: memory card.
+MEMORY_MAPPED = Protocol(
+    name="memory_mapped",
+    signals=("addr", "wdata", "rdata", "wr_en", "rd_en", "ack"),
+    uses_bus=True,
+    cycles_per_word=2,
+    handshake_cycles=2,
+)
+
+#: Dedicated point-to-point register with a four-phase req/ack
+#: handshake: used between hardware units, no bus involvement.
+DIRECT = Protocol(
+    name="direct",
+    signals=("data", "req", "ack"),
+    uses_bus=False,
+    cycles_per_word=1,
+    handshake_cycles=2,
+)

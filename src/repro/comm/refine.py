@@ -1,0 +1,118 @@
+"""Communication refinement: abstract channels -> concrete mechanisms.
+
+Paper Section 2: "Communication mechanisms for memory mapped I/O and
+direct communication are inserted to replace the abstract communication
+channels."
+
+Selection rule (matching the paper's board):
+
+* a channel between two *hardware* units (FPGA -> FPGA) becomes a
+  **direct** point-to-point register with req/ack handshake -- both
+  endpoints are synthesized hardware, so dedicated wires are free and
+  the shared bus is relieved;
+* every channel with a processor or the I/O controller on either end is
+  **memory-mapped**: processors can only talk through load/store, so
+  the payload goes through allocated cells in the shared RAM.
+
+The result couples each channel with its mechanism and, for
+memory-mapped channels, with its :class:`repro.stg.memory.MemoryCell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.architecture import TargetArchitecture
+from ..schedule.schedule import Schedule
+from ..stg.memory import MemoryCell, MemoryMap, allocate_memory
+from .channels import AbstractChannel, channels_of
+from .protocols import DIRECT, MEMORY_MAPPED, Protocol
+
+__all__ = ["RefinedChannel", "CommPlan", "refine_communication"]
+
+
+@dataclass(frozen=True)
+class RefinedChannel:
+    """One channel after mechanism selection."""
+
+    channel: AbstractChannel
+    protocol: Protocol
+    cell: MemoryCell | None  # populated for memory-mapped channels
+
+    @property
+    def edge(self) -> str:
+        return self.channel.edge
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        return self.protocol.name == MEMORY_MAPPED.name
+
+    @property
+    def is_direct(self) -> bool:
+        return self.protocol.name == DIRECT.name
+
+
+@dataclass
+class CommPlan:
+    """The complete communication refinement of one implementation."""
+
+    channels: dict[str, RefinedChannel]
+    memory_map: MemoryMap
+
+    def channel(self, edge_name: str) -> RefinedChannel:
+        try:
+            return self.channels[edge_name]
+        except KeyError:
+            raise KeyError(f"edge {edge_name!r} has no refined channel") \
+                from None
+
+    def memory_mapped(self) -> list[RefinedChannel]:
+        return [c for c in self.channels.values() if c.is_memory_mapped]
+
+    def direct(self) -> list[RefinedChannel]:
+        return [c for c in self.channels.values() if c.is_direct]
+
+    def stats(self) -> dict:
+        return {
+            "channels": len(self.channels),
+            "memory_mapped": len(self.memory_mapped()),
+            "direct": len(self.direct()),
+            "memory_words": self.memory_map.words_used,
+        }
+
+
+def _is_direct_candidate(channel: AbstractChannel,
+                         arch: TargetArchitecture) -> bool:
+    return (arch.is_hardware(channel.producer_unit)
+            and arch.is_hardware(channel.consumer_unit))
+
+
+def refine_communication(schedule: Schedule, arch: TargetArchitecture,
+                         reuse_memory: bool = True,
+                         allow_direct: bool = True) -> CommPlan:
+    """Select a mechanism for every abstract channel of the schedule.
+
+    ``allow_direct=False`` forces everything through shared memory (the
+    configuration of the paper's board without inter-FPGA traces; also
+    the ablation baseline).
+    """
+    partition = schedule.partition
+    abstract = channels_of(partition)
+
+    direct_edges = {c.edge for c in abstract
+                    if allow_direct and _is_direct_candidate(c, arch)}
+
+    # memory cells only for the memory-mapped subset
+    mm_edges = [e for e in partition.cut_edges()
+                if e.name not in direct_edges]
+    memory_map = allocate_memory(schedule, arch, reuse=reuse_memory,
+                                 edges=mm_edges)
+
+    channels: dict[str, RefinedChannel] = {}
+    for channel in abstract:
+        if channel.edge in direct_edges:
+            channels[channel.edge] = RefinedChannel(channel, DIRECT, None)
+        else:
+            channels[channel.edge] = RefinedChannel(
+                channel, MEMORY_MAPPED, memory_map.cell(channel.edge))
+    return CommPlan(channels, memory_map)

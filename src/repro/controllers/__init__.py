@@ -1,0 +1,17 @@
+"""Controller synthesis: FSM core, system/datapath/IO controllers, arbiters."""
+
+from .fsm import Fsm, FsmError, FsmTransition, encode_states
+from .system_controller import (ControllerHarness, SystemController,
+                                synthesize_system_controller)
+from .datapath_controller import (DatapathController,
+                                  synthesize_datapath_controller)
+from .io_controller import IoController, synthesize_io_controller
+from .bus_arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
+
+__all__ = [
+    "Fsm", "FsmError", "FsmTransition", "encode_states",
+    "ControllerHarness", "SystemController", "synthesize_system_controller",
+    "DatapathController", "synthesize_datapath_controller", "IoController",
+    "synthesize_io_controller", "Arbiter", "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+]

@@ -1,0 +1,78 @@
+"""Data-path controller synthesis.
+
+Paper Section 2: COOL adds "data path controllers to support hardware
+sharing".  Every FPGA that hosts more than zero task-graph nodes gets
+one controller; the datapath of each node is shared at the operator
+level by :mod:`repro.hls`, and this controller dispatches between the
+node-level micro-programs:
+
+* ``idle``: waits for a ``start_<node>`` command from the system
+  controller;
+* ``busy_<node>``: selects the node's datapath configuration, loads the
+  cycle counter with the node's latency and holds until ``count_done``;
+* back in ``idle`` it pulses ``done_<node>``.
+
+The FSM is an FSMD: the latency counter lives in the datapath (the
+``load_count_<n>`` action), keeping the controller's state count
+independent of node latencies -- the standard trick that makes shared
+datapaths controllable with few states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.partition import Partition
+from .fsm import Fsm
+
+__all__ = ["DatapathController", "synthesize_datapath_controller"]
+
+
+@dataclass
+class DatapathController:
+    """One shared-datapath controller for one hardware resource."""
+
+    resource: str
+    fsm: Fsm
+    #: node -> latency in resource cycles (the counter load values)
+    latencies: dict[str, int]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self.latencies)
+
+    def stats(self) -> dict:
+        return {"resource": self.resource, "nodes": len(self.latencies),
+                "states": len(self.fsm.states)}
+
+
+def synthesize_datapath_controller(partition: Partition, resource: str,
+                                   latencies: dict[str, int]
+                                   ) -> DatapathController:
+    """Build the dispatcher FSM of one hardware resource.
+
+    ``latencies`` maps every node on ``resource`` to its execution
+    latency in that resource's clock cycles (estimated before HLS, exact
+    after).
+    """
+    nodes = partition.nodes_on(resource)
+    missing = set(nodes) - set(latencies)
+    if missing:
+        raise ValueError(f"no latency for nodes {sorted(missing)} "
+                         f"on {resource!r}")
+
+    fsm = Fsm(f"dpc_{resource}")
+    fsm.add_state("idle")
+    for node in nodes:
+        fsm.add_state(f"busy_{node}",
+                      outputs=(f"sel_{node}",))
+        fsm.add_transition(
+            "idle", f"busy_{node}",
+            conditions=(f"start_{node}",),
+            actions=(f"load_count_{latencies[node]}", f"sel_{node}"))
+        fsm.add_transition(
+            f"busy_{node}", "idle",
+            conditions=("count_done",),
+            actions=(f"done_{node}",))
+    return DatapathController(resource, fsm,
+                              {n: latencies[n] for n in nodes})

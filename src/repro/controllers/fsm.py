@@ -1,0 +1,216 @@
+"""Finite state machines: the common substrate of all synthesized
+controllers (system controller, data-path controllers, I/O controller,
+bus arbiters).
+
+Mealy-style: transitions carry a conjunction of input signals as the
+condition and a set of output signals as actions.  Within a state,
+transitions are *prioritized in list order*, which resolves condition
+overlaps deterministically (the VHDL emitter generates an if/elsif
+cascade in the same order).
+
+The class supports everything downstream needs: validation, cycle-level
+simulation, classical state minimization (partition refinement) and
+state encoding (binary / one-hot / gray) for code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FsmError", "FsmTransition", "Fsm", "encode_states"]
+
+
+class FsmError(ValueError):
+    """Raised for malformed state machines."""
+
+
+@dataclass(frozen=True)
+class FsmTransition:
+    """Guarded Mealy transition with conjunctive conditions."""
+
+    src: str
+    dst: str
+    conditions: tuple[str, ...] = ()
+    actions: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        object.__setattr__(self, "actions", tuple(sorted(self.actions)))
+
+    def enabled(self, inputs: set[str]) -> bool:
+        return set(self.conditions) <= inputs
+
+
+@dataclass
+class Fsm:
+    """A Mealy machine over named boolean signals."""
+
+    name: str
+    states: list[str] = field(default_factory=list)
+    initial: str | None = None
+    transitions: list[FsmTransition] = field(default_factory=list)
+    #: Moore outputs: signals asserted while residing in a state.
+    state_outputs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_state(self, name: str, outputs: tuple[str, ...] = ()) -> str:
+        if name in self.states:
+            raise FsmError(f"fsm {self.name!r}: duplicate state {name!r}")
+        self.states.append(name)
+        if outputs:
+            self.state_outputs[name] = tuple(sorted(outputs))
+        if self.initial is None:
+            self.initial = name
+        return name
+
+    def add_transition(self, src: str, dst: str,
+                       conditions: tuple[str, ...] = (),
+                       actions: tuple[str, ...] = ()) -> FsmTransition:
+        for endpoint in (src, dst):
+            if endpoint not in self.states:
+                raise FsmError(f"fsm {self.name!r}: unknown state "
+                               f"{endpoint!r}")
+        transition = FsmTransition(src, dst, conditions, actions)
+        self.transitions.append(transition)
+        return transition
+
+    # ------------------------------------------------------------------
+    def out_transitions(self, state: str) -> list[FsmTransition]:
+        return [t for t in self.transitions if t.src == state]
+
+    @property
+    def inputs(self) -> list[str]:
+        signals: set[str] = set()
+        for t in self.transitions:
+            signals.update(t.conditions)
+        return sorted(signals)
+
+    @property
+    def outputs(self) -> list[str]:
+        signals: set[str] = set()
+        for t in self.transitions:
+            signals.update(t.actions)
+        for outs in self.state_outputs.values():
+            signals.update(outs)
+        return sorted(signals)
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        if self.initial is None:
+            problems.append("no initial state")
+        if len(set(self.states)) != len(self.states):
+            problems.append("duplicate state names")
+        # reachability
+        if self.initial is not None:
+            seen = {self.initial}
+            stack = [self.initial]
+            while stack:
+                for t in self.out_transitions(stack.pop()):
+                    if t.dst not in seen:
+                        seen.add(t.dst)
+                        stack.append(t.dst)
+            unreachable = set(self.states) - seen
+            if unreachable:
+                problems.append(f"unreachable states: {sorted(unreachable)}")
+        return problems
+
+    # ------------------------------------------------------------------
+    def step(self, state: str, inputs: set[str]) -> tuple[str, tuple[str, ...]]:
+        """One clock edge: highest-priority enabled transition fires.
+
+        Returns the next state and the asserted outputs (Mealy actions of
+        the fired transition plus Moore outputs of the *current* state).
+        With no enabled transition the machine stays put.
+        """
+        moore = self.state_outputs.get(state, ())
+        for transition in self.out_transitions(state):
+            if transition.enabled(inputs):
+                return transition.dst, tuple(sorted(
+                    set(transition.actions) | set(moore)))
+        return state, tuple(moore)
+
+    def simulate(self, input_trace: list[set[str]]) -> list[tuple[str,
+                                                                  tuple]]:
+        """Run from the initial state; one (state, outputs) pair per cycle."""
+        if self.initial is None:
+            raise FsmError(f"fsm {self.name!r} has no initial state")
+        log: list[tuple[str, tuple]] = []
+        state = self.initial
+        for inputs in input_trace:
+            state, outputs = self.step(state, set(inputs))
+            log.append((state, outputs))
+        return log
+
+    # ------------------------------------------------------------------
+    def minimize(self) -> "Fsm":
+        """Merge behaviourally equivalent states (partition refinement)."""
+        block_of: dict[str, int] = {}
+        keys: dict[tuple, int] = {}
+        for state in self.states:
+            key = (self.state_outputs.get(state, ()),
+                   state == self.initial)
+            block_of[state] = keys.setdefault(key, len(keys))
+
+        changed = True
+        while changed:
+            changed = False
+            signature: dict[str, tuple] = {}
+            for state in self.states:
+                outs = tuple(
+                    (t.conditions, t.actions, block_of[t.dst])
+                    for t in self.out_transitions(state))
+                signature[state] = (block_of[state], outs)
+            keys = {}
+            refined: dict[str, int] = {}
+            for state in self.states:
+                refined[state] = keys.setdefault(signature[state], len(keys))
+            if refined != block_of:
+                block_of = refined
+                changed = True
+
+        representative: dict[int, str] = {}
+        for state in self.states:
+            representative.setdefault(block_of[state], state)
+
+        reduced = Fsm(self.name)
+        for state in self.states:
+            if representative[block_of[state]] == state:
+                reduced.add_state(state, self.state_outputs.get(state, ()))
+        reduced.initial = representative[block_of[self.initial]] \
+            if self.initial else None
+        seen: set[tuple] = set()
+        for t in self.transitions:
+            src = representative[block_of[t.src]]
+            dst = representative[block_of[t.dst]]
+            key = (src, dst, t.conditions, t.actions)
+            if key not in seen:
+                seen.add(key)
+                reduced.add_transition(src, dst, t.conditions, t.actions)
+        return reduced
+
+    def stats(self) -> dict:
+        return {"name": self.name, "states": len(self.states),
+                "transitions": len(self.transitions),
+                "inputs": len(self.inputs), "outputs": len(self.outputs)}
+
+
+def encode_states(fsm: Fsm, scheme: str = "binary") -> dict[str, str]:
+    """Assign a bit pattern to every state.
+
+    ``binary`` -- minimal-width counter encoding; ``one_hot`` -- one
+    flip-flop per state (the XC4000-friendly choice); ``gray`` --
+    single-bit-change sequence in state order.
+    """
+    n = len(fsm.states)
+    if n == 0:
+        raise FsmError(f"fsm {fsm.name!r} has no states to encode")
+    if scheme == "one_hot":
+        return {s: format(1 << i, f"0{n}b")
+                for i, s in enumerate(fsm.states)}
+    width = max(1, (n - 1).bit_length())
+    if scheme == "binary":
+        return {s: format(i, f"0{width}b") for i, s in enumerate(fsm.states)}
+    if scheme == "gray":
+        return {s: format(i ^ (i >> 1), f"0{width}b")
+                for i, s in enumerate(fsm.states)}
+    raise FsmError(f"unknown encoding scheme {scheme!r}")

@@ -1,0 +1,69 @@
+"""I/O-controller synthesis.
+
+Paper Section 2: COOL adds "an I/O controller to communicate with the
+environment".  The controller is a processing unit like any other from
+the system controller's point of view: it owns all ``input`` / ``output``
+nodes of the task graph, answers ``start_<node>`` commands and reports
+``done_<node>`` pulses.
+
+For an input node it samples the environment port and produces the value
+(the system controller then writes it to the node's memory cells); for
+an output node it consumes the value (read from memory by the system
+controller) and drives the environment port with a ``valid`` strobe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.taskgraph import TaskGraph
+from .fsm import Fsm
+
+__all__ = ["IoController", "synthesize_io_controller"]
+
+
+@dataclass
+class IoController:
+    """The environment interface unit."""
+
+    fsm: Fsm
+    input_ports: tuple[str, ...]
+    output_ports: tuple[str, ...]
+
+    @property
+    def ports(self) -> tuple[str, ...]:
+        return self.input_ports + self.output_ports
+
+    def stats(self) -> dict:
+        return {"inputs": len(self.input_ports),
+                "outputs": len(self.output_ports),
+                "states": len(self.fsm.states)}
+
+
+def synthesize_io_controller(graph: TaskGraph) -> IoController:
+    """Build the I/O controller for all environment ports of ``graph``."""
+    fsm = Fsm("ioc")
+    fsm.add_state("idle")
+    inputs, outputs = [], []
+    for node in graph.inputs():
+        inputs.append(node.name)
+        fsm.add_state(f"sample_{node.name}",
+                      outputs=(f"port_en_{node.name}",))
+        fsm.add_transition("idle", f"sample_{node.name}",
+                           conditions=(f"start_{node.name}",),
+                           actions=(f"sample_{node.name}",))
+        fsm.add_transition(f"sample_{node.name}", "idle",
+                           conditions=(f"port_ready_{node.name}",),
+                           actions=(f"done_{node.name}",))
+    for node in graph.outputs():
+        outputs.append(node.name)
+        fsm.add_state(f"drive_{node.name}",
+                      outputs=(f"port_en_{node.name}",))
+        fsm.add_transition("idle", f"drive_{node.name}",
+                           conditions=(f"start_{node.name}",),
+                           actions=(f"drive_{node.name}",
+                                    f"valid_{node.name}"))
+        fsm.add_transition(f"drive_{node.name}", "idle",
+                           conditions=(f"port_ready_{node.name}",),
+                           actions=(f"done_{node.name}",))
+    return IoController(fsm, tuple(inputs), tuple(outputs))

@@ -1,0 +1,275 @@
+"""System-controller synthesis from the (minimized) STG.
+
+The system controller "steers the complete system according to the
+computed schedule" (paper Section 2).  Because the processing units run
+concurrently, the controller is synthesized as a *composition* of
+communicating FSMs, all derived from the STG:
+
+* one **sequencer FSM per processing unit** -- the projection of the STG
+  onto that unit's chain: it walks the unit through its scheduled nodes,
+  waiting on the done flags of cross-unit data predecessors (the STG
+  guards), issuing the memory reads, the start pulse and the memory
+  writes of each node;
+* one **phase FSM** -- the projection of the global R / X / D states:
+  it resets every unit, releases the sequencers with a ``go`` broadcast,
+  and collects their ``phase_done`` flags before signalling system
+  completion;
+* a bank of **done-flag registers** (one per task-graph node, cleared in
+  the reset phase) that latch the units' done pulses; the sequencer
+  guards read these flags, which is how cross-unit synchronisation
+  becomes plain combinational logic.
+
+Everything is implemented in hardware "because hardware allows
+concurrent processes" (paper), which is why the composition-of-FSMs
+structure is the faithful one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..stg.states import StateKind, Stg, StgError
+from .fsm import Fsm
+
+__all__ = ["SystemController", "ControllerHarness",
+           "synthesize_system_controller"]
+
+
+@dataclass
+class SystemController:
+    """The synthesized controller: phase FSM + per-unit sequencers."""
+
+    name: str
+    phase_fsm: Fsm
+    sequencers: dict[str, Fsm] = field(default_factory=dict)
+    #: task-graph nodes whose done pulses are latched as flags
+    done_flags: tuple[str, ...] = ()
+
+    @property
+    def fsms(self) -> list[Fsm]:
+        return [self.phase_fsm] + list(self.sequencers.values())
+
+    @property
+    def total_states(self) -> int:
+        return sum(len(f.states) for f in self.fsms)
+
+    @property
+    def inputs(self) -> list[str]:
+        signals: set[str] = set()
+        for fsm in self.fsms:
+            signals.update(fsm.inputs)
+        # internal handshakes are not external inputs
+        internal = {"go"} | {f"phase_done_{r}" for r in self.sequencers}
+        return sorted(signals - internal)
+
+    @property
+    def outputs(self) -> list[str]:
+        signals: set[str] = set()
+        for fsm in self.fsms:
+            signals.update(fsm.outputs)
+        internal = {"go"} | {f"phase_done_{r}" for r in self.sequencers}
+        return sorted(signals - internal)
+
+    def stats(self) -> dict:
+        return {
+            "fsms": len(self.fsms),
+            "total_states": self.total_states,
+            "sequencers": {r: len(f.states)
+                           for r, f in self.sequencers.items()},
+            "phase_states": len(self.phase_fsm.states),
+            "done_flags": len(self.done_flags),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }
+
+
+def _chain_of(stg: Stg, resource: str) -> list[str]:
+    """Ordered STG states of one unit's chain, following transitions.
+
+    Works on both the full and the minimized STG: entry is the successor
+    of X that lies on ``resource``; the chain ends at D.
+    """
+    entries = [t.dst for t in stg.out_transitions("X")
+               if stg.state(t.dst).resource == resource]
+    if not entries:
+        return []
+    if len(entries) > 1:
+        raise StgError(f"resource {resource!r} has {len(entries)} chain "
+                       f"entries in the STG")
+    chain = []
+    current = entries[0]
+    guard = 0
+    while current != "D":
+        chain.append(current)
+        outs = stg.out_transitions(current)
+        if len(outs) != 1:
+            raise StgError(f"state {current!r}: chain expects exactly one "
+                           f"successor, found {len(outs)}")
+        current = outs[0].dst
+        guard += 1
+        if guard > 10_000:
+            raise StgError(f"chain of {resource!r} does not terminate")
+    return chain
+
+
+def _sequencer(stg: Stg, resource: str) -> Fsm:
+    """Project the STG chain of one unit into a sequencer FSM.
+
+    Edge-for-edge copy of the chain: every STG chain state becomes an
+    FSM state; the entry edge (X -> first state) becomes the ``go`` hop
+    out of ``idle`` and keeps its actions (after minimization the entry
+    edge may already carry the first node's start); the exit edge
+    (last state -> D) returns to ``idle`` and additionally reports
+    ``phase_done_<resource>`` to the phase FSM.
+    """
+    fsm = Fsm(f"seq_{resource}")
+    fsm.add_state("idle")
+    chain = _chain_of(stg, resource)
+    if not chain:
+        return fsm
+
+    for state_name in chain:
+        fsm.add_state(state_name)
+
+    entry = next(t for t in stg.out_transitions("X")
+                 if stg.state(t.dst).resource == resource)
+    fsm.add_transition("idle", chain[0],
+                       conditions=("go",) + tuple(entry.conditions),
+                       actions=entry.actions)
+
+    for state_name, successor in zip(chain, chain[1:]):
+        exit_t = stg.out_transitions(state_name)[0]
+        fsm.add_transition(state_name, successor,
+                           conditions=exit_t.conditions,
+                           actions=exit_t.actions)
+
+    last_exit = stg.out_transitions(chain[-1])[0]
+    fsm.add_transition(chain[-1], "idle",
+                       conditions=last_exit.conditions,
+                       actions=tuple(last_exit.actions)
+                       + (f"phase_done_{resource}",))
+    return fsm
+
+
+class ControllerHarness:
+    """Cycle-level closed-loop execution of the controller composition.
+
+    Models exactly the synthesized hardware: the phase FSM and the
+    sequencers step once per clock; done pulses from the units are
+    latched into the done-flag registers; ``clear_flags`` (issued during
+    the reset phase) clears them; ``go`` is distributed as a latched
+    broadcast.  The co-simulator drives this harness, and the tests
+    cross-validate its action traces against the STG executor -- the
+    synthesized controller must behave exactly like the STG it came
+    from.
+    """
+
+    def __init__(self, controller: SystemController) -> None:
+        self.controller = controller
+        self.phase_state = controller.phase_fsm.initial
+        self.seq_states = {r: f.initial
+                           for r, f in controller.sequencers.items()}
+        self.flags: set[str] = set()
+        self.internal: set[str] = set()
+        #: sequencers that already left idle in this activation -- the
+        #: ``go`` broadcast is consumed per unit, so a sequencer that
+        #: finished early does not restart its chain
+        self.go_consumed: set[str] = set()
+        self.actions_log: list[tuple[str, ...]] = []
+
+    @property
+    def system_done(self) -> bool:
+        return self.phase_state == "done"
+
+    def cycle(self, unit_signals: set[str] | None = None,
+              external: set[str] | None = None) -> list[str]:
+        """One clock edge.  ``unit_signals`` are the done pulses of the
+        processing units this cycle; ``external`` feeds e.g. ``restart``.
+        Returns the externally visible commands issued this cycle."""
+        if unit_signals:
+            self.flags.update(unit_signals)
+        inputs = set(self.flags) | set(self.internal) | set(external or ())
+
+        emitted: list[str] = []
+        fsm = self.controller.phase_fsm
+        self.phase_state, outputs = fsm.step(self.phase_state, inputs)
+        emitted.extend(outputs)
+        for resource, seq in self.controller.sequencers.items():
+            seq_inputs = inputs - {"go"} \
+                if resource in self.go_consumed else inputs
+            was_idle = self.seq_states[resource] == "idle"
+            self.seq_states[resource], outputs = seq.step(
+                self.seq_states[resource], seq_inputs)
+            if was_idle and self.seq_states[resource] != "idle":
+                self.go_consumed.add(resource)
+            emitted.extend(outputs)
+
+        external_actions: list[str] = []
+        for action in emitted:
+            if action == "clear_flags":
+                self.flags.clear()
+            elif action == "go":
+                self.internal.add("go")
+            elif action.startswith("phase_done_"):
+                self.internal.add(action)
+            else:
+                external_actions.append(action)
+        if self.phase_state == "reset":
+            self.internal.clear()
+            self.go_consumed.clear()
+        if external_actions:
+            self.actions_log.append(tuple(external_actions))
+        return external_actions
+
+    def run(self, respond_done, max_cycles: int = 100_000) -> list[str]:
+        """Closed-loop run: ``respond_done(started_nodes)`` maps the set
+        of nodes started so far to the done pulses of the next cycle
+        (the ideal-environment hook used by tests)."""
+        started: list[str] = []
+        pending: set[str] = set()
+        all_actions: list[str] = []
+        for _ in range(max_cycles):
+            actions = self.cycle(pending)
+            all_actions.extend(actions)
+            newly = [a[len("start_"):] for a in actions
+                     if a.startswith("start_")]
+            started.extend(newly)
+            pending = respond_done(newly)
+            if self.system_done:
+                break
+        return all_actions
+
+
+def synthesize_system_controller(stg: Stg,
+                                 name: str = "system_controller"
+                                 ) -> SystemController:
+    """Derive the communicating controller composition from an STG."""
+    resources = sorted({s.resource for s in stg.states
+                        if s.resource is not None})
+    if not resources:
+        raise StgError("STG mentions no resources; nothing to control")
+
+    sequencers = {r: _sequencer(stg, r) for r in resources}
+
+    phase = Fsm("phase")
+    phase.add_state("reset")
+    phase.add_state("run")
+    phase.add_state("done")
+    reset_actions = tuple(f"reset_{r}" for r in resources) + ("clear_flags",)
+    phase.add_transition("reset", "run", actions=reset_actions + ("go",))
+    phase.add_transition(
+        "run", "done",
+        conditions=tuple(f"phase_done_{r}" for r in resources),
+        actions=("system_done",))
+    phase.add_transition("done", "reset", conditions=("restart",))
+
+    done_flags = tuple(sorted({s.node for s in stg.states
+                               if s.node is not None}))
+    controller = SystemController(name, phase, sequencers, done_flags)
+
+    for fsm in controller.fsms:
+        problems = fsm.validate()
+        if problems:
+            raise StgError(f"synthesized FSM {fsm.name!r} invalid: "
+                           + "; ".join(problems))
+    return controller

@@ -1,0 +1,12 @@
+"""Cost estimation: software cycles, hardware latency/area, communication."""
+
+from .software import sw_cycles, sw_seconds
+from .hardware import hw_area_clbs, hw_cycles, hw_seconds
+from .communication import read_cycles, transfer_cycles, transfer_seconds, write_cycles
+from .model import CostModel, NodeCost
+
+__all__ = [
+    "sw_cycles", "sw_seconds", "hw_area_clbs", "hw_cycles", "hw_seconds",
+    "read_cycles", "transfer_cycles", "transfer_seconds", "write_cycles",
+    "CostModel", "NodeCost",
+]

@@ -1,0 +1,40 @@
+"""Communication cost estimation.
+
+Prices a data transfer over the shared bus into the shared memory: a
+write burst by the producer and a read burst by each consumer, each paying
+bus arbitration plus memory access latency per beat.  Used by the
+scheduler (transfer slots), the partitioners (communication penalty of a
+cut edge) and cross-checked by the co-simulator.
+"""
+
+from __future__ import annotations
+
+from ..graph.taskgraph import DataEdge
+from ..platform.architecture import TargetArchitecture
+
+__all__ = ["write_cycles", "read_cycles", "transfer_cycles", "transfer_seconds"]
+
+
+def write_cycles(edge: DataEdge, arch: TargetArchitecture) -> int:
+    """Bus cycles for the producer to write ``edge`` into shared memory."""
+    bus = arch.bus
+    beats = bus.beats_for(edge.width, edge.words)
+    return (bus.arbitration_cycles
+            + beats * (bus.cycles_per_word + arch.memory.write_cycles))
+
+
+def read_cycles(edge: DataEdge, arch: TargetArchitecture) -> int:
+    """Bus cycles for one consumer to read ``edge`` from shared memory."""
+    bus = arch.bus
+    beats = bus.beats_for(edge.width, edge.words)
+    return (bus.arbitration_cycles
+            + beats * (bus.cycles_per_word + arch.memory.read_cycles))
+
+
+def transfer_cycles(edge: DataEdge, arch: TargetArchitecture) -> int:
+    """Total bus cycles of one write + one read of ``edge``."""
+    return write_cycles(edge, arch) + read_cycles(edge, arch)
+
+
+def transfer_seconds(edge: DataEdge, arch: TargetArchitecture) -> float:
+    return arch.bus.seconds(transfer_cycles(edge, arch))

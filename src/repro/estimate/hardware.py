@@ -1,0 +1,77 @@
+"""Hardware latency and area estimation.
+
+Before high-level synthesis runs, partitioning needs fast estimates of
+(a) how many FPGA clock cycles a node takes as a dedicated datapath and
+(b) how many CLBs it occupies.  The estimators here mirror OSCAR-era
+quick estimation:
+
+* **latency** assumes one functional unit per operation category, so
+  operations of the same category execute sequentially while different
+  categories may overlap only through pipelining slack -- a deliberately
+  conservative serial model (matched against real HLS results in tests);
+* **area** prices one functional unit per operation category used, plus
+  registers for the node payload and a controller share per state.
+
+The definitive numbers come from :mod:`repro.hls`; the tests assert the
+quick estimate is within a factor of the HLS result, which is how such
+estimators were validated in practice.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..graph.semantics import op_mix_of
+from ..graph.taskgraph import TaskNode
+from ..platform.fpgas import Fpga
+
+__all__ = ["hw_cycles", "hw_seconds", "hw_area_clbs"]
+
+#: Fixed cycles for the start/done handshake of a hardware datapath.
+HANDSHAKE_CYCLES = 2
+
+
+def hw_cycles(node: TaskNode, fpga: Fpga) -> int:
+    """Estimated FPGA cycles for one activation of ``node``.
+
+    One *pipelined* functional unit per category (initiation interval 1):
+    ``count`` operations of a category cost ``count + latency - 1``
+    cycles, and categories execute back to back.  This matches the
+    time/area point OSCAR-style HLS reaches with one FU per operator
+    type.
+    """
+    mix = op_mix_of(node)
+    latency = fpga.latency_table
+    cycles = HANDSHAKE_CYCLES
+    for op, count in mix.items():
+        if op == "mov" or count <= 0:
+            # moves become wires / register transfers inside the datapath
+            continue
+        cycles += count + latency[op] - 1
+    return max(cycles, 1)
+
+
+def hw_seconds(node: TaskNode, fpga: Fpga) -> float:
+    return fpga.seconds(hw_cycles(node, fpga))
+
+
+def hw_area_clbs(node: TaskNode, fpga: Fpga, scale_bits: bool = True) -> int:
+    """Estimated CLB area of a dedicated datapath for ``node``.
+
+    One FU per operation category present in the mix, scaled from the
+    16-bit reference tables to the node's width, plus output registers
+    and a small controller share.
+    """
+    mix = op_mix_of(node)
+    area = 0.0
+    width_scale = node.width / 16.0 if scale_bits else 1.0
+    for op, count in mix.items():
+        if count <= 0 or op == "mov":
+            continue
+        area += fpga.area_for(op) * width_scale
+    # output register for the produced value
+    area += fpga.register_clbs_per_bit * node.width
+    # controller share: one state per non-move operation class plus wait/done
+    states = sum(1 for op, n in mix.items() if op != "mov" and n) + 2
+    area += fpga.controller_clbs_per_state * states
+    return max(1, ceil(area))

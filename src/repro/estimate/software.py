@@ -1,0 +1,31 @@
+"""Software runtime estimation.
+
+Estimates the execution time of one task-graph node on a processor the
+way COOL's partitioning phase does: the node's primitive-operation mix
+(from :mod:`repro.graph.semantics`) priced by the processor's instruction
+cycle table, plus a fixed activation overhead (call / loop setup / start-
+done handshake with the system controller).
+"""
+
+from __future__ import annotations
+
+from ..graph.semantics import op_mix_of
+from ..graph.taskgraph import TaskNode
+from ..platform.processors import Processor
+
+__all__ = ["sw_cycles", "sw_seconds"]
+
+
+def sw_cycles(node: TaskNode, processor: Processor) -> int:
+    """Estimated processor cycles for one activation of ``node``."""
+    mix = op_mix_of(node)
+    cycles = processor.call_overhead_cycles
+    table = processor.cycle_table
+    for op, count in mix.items():
+        cycles += table[op] * count
+    return cycles
+
+
+def sw_seconds(node: TaskNode, processor: Processor) -> float:
+    """Estimated wall time of one activation on ``processor``."""
+    return processor.seconds(sw_cycles(node, processor))

@@ -1,0 +1,8 @@
+"""The end-to-end COOL design flow (paper Fig. 1)."""
+
+from .cool import CoolFlow, FlowResult
+from .timing import (DesignTimeModel, DesignTimeReport,
+                     SYNTHESIS_SECONDS_PER_CLB)
+
+__all__ = ["CoolFlow", "FlowResult", "DesignTimeModel", "DesignTimeReport",
+           "SYNTHESIS_SECONDS_PER_CLB"]

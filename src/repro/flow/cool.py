@@ -1,0 +1,286 @@
+"""The COOL design flow (paper Fig. 1), end to end.
+
+``CoolFlow.run`` drives every reproduced stage on a task graph:
+
+1. graph validation and cost estimation;
+2. coupled hardware/software **partitioning** (MILP by default) giving
+   the coloured graph + static schedule;
+3. **co-synthesis**: STG construction, state minimization, memory
+   allocation, communication refinement;
+4. **controller synthesis**: system controller, data-path controllers
+   (with exact post-HLS latencies), I/O controller, bus arbiter;
+5. **high-level synthesis** of every hardware resource (shared
+   datapaths) with CLB accounting against the device capacities;
+6. **code generation**: VHDL for all hardware pieces, C per processor,
+   the board netlist;
+7. optional **co-simulation** against a stimulus, checked by the caller
+   against the reference interpreter;
+8. a **design-time report** combining measured stage times with the
+   modelled hardware-synthesis times (:mod:`repro.flow.timing`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..codegen.c import software_to_c
+from ..codegen.netlist import Netlist, generate_netlist, netlist_text
+from ..codegen.vhdl import datapath_to_vhdl, fsm_to_vhdl
+from ..codegen.vhdl_check import check_vhdl
+from ..comm.refine import CommPlan, refine_communication
+from ..controllers.bus_arbiter import RoundRobinArbiter
+from ..controllers.datapath_controller import (DatapathController,
+                                               synthesize_datapath_controller)
+from ..controllers.io_controller import IoController, synthesize_io_controller
+from ..controllers.system_controller import (SystemController,
+                                             synthesize_system_controller)
+from ..graph.taskgraph import TaskGraph
+from ..graph.validate import check_graph
+from ..hls.driver import SharedDatapathResult, synthesize_resource
+from ..partition.base import Partitioner, PartitionResult
+from ..partition.milp import MilpPartitioner
+from ..platform.architecture import TargetArchitecture
+from ..sim.system import CoSimulation, SimResult
+from ..stg.builder import build_stg
+from ..stg.minimize import MinimizationReport, minimize_stg
+from ..stg.states import Stg
+from .timing import DesignTimeModel, DesignTimeReport
+
+__all__ = ["CoolFlow", "FlowResult"]
+
+
+@dataclass
+class FlowResult:
+    """Everything one run of the COOL flow produces."""
+
+    graph: TaskGraph
+    arch: TargetArchitecture
+    partition_result: PartitionResult
+    stg_full: Stg
+    stg: Stg
+    minimization: MinimizationReport
+    plan: CommPlan
+    controller: SystemController
+    io_controller: IoController
+    datapath_controllers: dict[str, DatapathController]
+    hls_results: dict[str, SharedDatapathResult]
+    vhdl_files: dict[str, str]
+    c_files: dict[str, str]
+    netlist: Netlist
+    sim_result: SimResult | None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    design_time: DesignTimeReport | None = None
+
+    @property
+    def makespan(self) -> int:
+        return self.partition_result.makespan
+
+    @property
+    def clbs_per_fpga(self) -> dict[str, int]:
+        return {r: h.total_area_clbs for r, h in self.hls_results.items()}
+
+    def report(self) -> str:
+        """Multi-paragraph text report of the implementation."""
+        lines = [f"COOL flow report for {self.graph.name!r} on "
+                 f"{self.arch.name!r}"]
+        lines.append("-" * 64)
+        summary = self.partition_result.summary()
+        lines.append(f"partitioning [{summary['algorithm']}]: "
+                     f"{summary['hw_nodes']} HW / {summary['sw_nodes']} SW "
+                     f"nodes, {summary['cut_edges']} cut edges, "
+                     f"makespan {summary['makespan']} ticks")
+        lines.append(f"STG: {self.minimization.states_before} states -> "
+                     f"{self.minimization.states_after} after minimization "
+                     f"({self.minimization.reduction:.0%} removed)")
+        stats = self.plan.stats()
+        lines.append(f"communication: {stats['memory_mapped']} memory-mapped"
+                     f" + {stats['direct']} direct channels, "
+                     f"{stats['memory_words']} memory words")
+        for resource, clbs in self.clbs_per_fpga.items():
+            cap = self.arch.fpga(resource).clb_capacity
+            lines.append(f"hardware {resource}: {clbs}/{cap} CLBs")
+        lines.append(f"generated: {len(self.vhdl_files)} VHDL files, "
+                     f"{len(self.c_files)} C files, netlist with "
+                     f"{len(self.netlist.components)} components / "
+                     f"{len(self.netlist.nets)} nets")
+        if self.sim_result is not None:
+            lines.append(f"co-simulation: {self.sim_result.cycles} cycles, "
+                         f"bus busy {self.sim_result.bus_busy_ticks}")
+        if self.design_time is not None:
+            lines.append(f"design time: {self.design_time.total_s / 60:.1f} "
+                         f"min total, {self.design_time.hw_fraction:.0%} in "
+                         f"hardware synthesis")
+        return "\n".join(lines)
+
+
+class CoolFlow:
+    """Configurable end-to-end driver."""
+
+    def __init__(self, arch: TargetArchitecture,
+                 partitioner: Partitioner | None = None,
+                 reuse_memory: bool = True,
+                 allow_direct_comm: bool = True,
+                 design_time_model: DesignTimeModel | None = None) -> None:
+        self.arch = arch
+        self.partitioner = partitioner if partitioner is not None \
+            else MilpPartitioner()
+        self.reuse_memory = reuse_memory
+        self.allow_direct_comm = allow_direct_comm
+        self.design_time_model = design_time_model if design_time_model \
+            is not None else DesignTimeModel()
+
+    def run(self, graph: TaskGraph,
+            stimuli: Mapping[str, list[int]] | None = None,
+            deadline: int | None = None) -> FlowResult:
+        """Run the full flow; ``stimuli`` enables co-simulation."""
+        from ..partition.base import PartitioningProblem
+
+        stage_seconds: dict[str, float] = {}
+
+        def timed(stage: str):
+            class _Timer:
+                def __enter__(self_inner):
+                    self_inner.start = time.perf_counter()
+
+                def __exit__(self_inner, *exc):
+                    stage_seconds[stage] = stage_seconds.get(stage, 0.0) \
+                        + time.perf_counter() - self_inner.start
+            return _Timer()
+
+        with timed("validate"):
+            check_graph(graph)
+
+        with timed("partitioning"):
+            problem = PartitioningProblem(graph, self.arch,
+                                          deadline=deadline)
+            partition_result = self.partitioner.partition(problem)
+        partition = partition_result.partition
+        schedule = partition_result.schedule
+
+        # co-synthesis with HLS area feedback: partitioning works on the
+        # quick estimator; if the *synthesized* datapath of a device
+        # overflows its CLB capacity, the largest node is evicted to
+        # software and co-synthesis reruns (the estimate-update loop of
+        # iterative co-design flows)
+        repairs = 0
+        while True:
+            with timed("stg"):
+                stg_full = build_stg(schedule)
+                stg, minimization = minimize_stg(stg_full)
+
+            with timed("communication"):
+                plan = refine_communication(
+                    schedule, self.arch, reuse_memory=self.reuse_memory,
+                    allow_direct=self.allow_direct_comm)
+
+            with timed("hls"):
+                hls_results: dict[str, SharedDatapathResult] = {}
+                for fpga in self.arch.fpgas:
+                    hls_results[fpga.name] = synthesize_resource(
+                        graph, partition, fpga.name, fpga)
+
+            overflowing = [f for f in self.arch.fpgas
+                           if hls_results[f.name].total_area_clbs
+                           > f.clb_capacity]
+            if not overflowing or not self.arch.processors:
+                break
+            with timed("partitioning"):
+                from ..partition.base import evaluate_mapping
+                worst = overflowing[0]
+                on_device = partition.nodes_on(worst.name)
+                victim = max(
+                    on_device,
+                    key=lambda v: hls_results[worst.name]
+                    .node_results[v].area_clbs)
+                mapping = dict(partition.mapping)
+                for node in graph.nodes:
+                    if node.is_io:
+                        mapping.pop(node.name, None)
+                mapping[victim] = self.arch.processor_names[0]
+                partition, schedule, feasibility = evaluate_mapping(
+                    problem, mapping)
+                repairs += 1
+                partition_result = PartitionResult(
+                    partition, schedule, feasibility,
+                    partition_result.algorithm,
+                    partition_result.runtime_s,
+                    {**partition_result.stats, "area_repairs": repairs})
+            if repairs > len(graph):
+                raise RuntimeError("HLS area repair failed to converge")
+
+        with timed("controllers"):
+            controller = synthesize_system_controller(stg)
+            io_controller = synthesize_io_controller(graph)
+            datapath_controllers: dict[str, DatapathController] = {}
+            for fpga in self.arch.fpgas:
+                nodes = partition.nodes_on(fpga.name)
+                if not nodes:
+                    continue
+                latencies = hls_results[fpga.name].latencies
+                datapath_controllers[fpga.name] = \
+                    synthesize_datapath_controller(partition, fpga.name,
+                                                   latencies)
+            arbiter = RoundRobinArbiter(
+                ["sysctl"] + list(partition.resources_used))
+
+        with timed("codegen"):
+            vhdl_files: dict[str, str] = {}
+            for fsm in controller.fsms:
+                vhdl_files[f"{fsm.name}.vhd"] = fsm_to_vhdl(fsm)
+            vhdl_files["ioc.vhd"] = fsm_to_vhdl(io_controller.fsm)
+            vhdl_files["arbiter.vhd"] = fsm_to_vhdl(arbiter.to_fsm())
+            for resource, dpc in datapath_controllers.items():
+                vhdl_files[f"dpc_{resource}.vhd"] = fsm_to_vhdl(dpc.fsm)
+            for resource, hls in hls_results.items():
+                if hls.shared_rtl is not None and hls.node_results:
+                    vhdl_files[f"dp_{resource}.vhd"] = \
+                        datapath_to_vhdl(hls.shared_rtl)
+            for name, text in vhdl_files.items():
+                problems = check_vhdl(text)
+                if problems:
+                    raise ValueError(f"generated VHDL {name} rejected: "
+                                     + "; ".join(problems))
+            c_files = {}
+            for proc in self.arch.processors:
+                if partition.nodes_on(proc.name):
+                    c_files[f"{proc.name}.c"] = software_to_c(
+                        graph, partition, schedule, plan, proc.name)
+            netlist = generate_netlist(partition, self.arch, controller,
+                                       plan)
+
+        sim_result: SimResult | None = None
+        if stimuli is not None:
+            with timed("cosim"):
+                hls_latencies = {}
+                for resource, hls in hls_results.items():
+                    if hls.latencies:
+                        fpga = self.arch.fpga(resource)
+                        ratio = self.arch.bus.clock_hz / fpga.clock_hz
+                        hls_latencies[resource] = {
+                            n: max(1, round(c * ratio))
+                            for n, c in hls.latencies.items()}
+                cosim = CoSimulation(graph, partition, schedule, plan,
+                                     controller, self.arch, stimuli,
+                                     latencies=hls_latencies)
+                sim_result = cosim.run()
+
+        design_time = DesignTimeReport(measured_stages=dict(stage_seconds))
+        design_time.hw_synthesis_s = self.design_time_model.hardware_seconds(
+            {r: h.total_area_clbs for r, h in hls_results.items()})
+        design_time.sw_compile_s = self.design_time_model.software_seconds(
+            len(c_files))
+
+        return FlowResult(
+            graph=graph, arch=self.arch,
+            partition_result=partition_result,
+            stg_full=stg_full, stg=stg, minimization=minimization,
+            plan=plan, controller=controller,
+            io_controller=io_controller,
+            datapath_controllers=datapath_controllers,
+            hls_results=hls_results,
+            vhdl_files=vhdl_files, c_files=c_files, netlist=netlist,
+            sim_result=sim_result, stage_seconds=stage_seconds,
+            design_time=design_time,
+        )

@@ -1,0 +1,19 @@
+"""Task graphs, functional semantics and coloured partitioning graphs."""
+
+from .taskgraph import DataEdge, GraphError, TaskGraph, TaskNode, linear_chain, make_node
+from .semantics import (OP_CATEGORIES, SemanticsError, arity_of, evaluate_node,
+                        execute, op_mix_of, register_kind, registered_kinds,
+                        to_signed, wrap)
+from .partition import (IO_RESOURCE, Partition, PartitionError, all_hardware,
+                        all_software, from_mapping)
+from .validate import check_graph, validate_graph
+from .dot import graph_to_dot, partition_to_dot
+
+__all__ = [
+    "DataEdge", "GraphError", "TaskGraph", "TaskNode", "linear_chain", "make_node",
+    "OP_CATEGORIES", "SemanticsError", "arity_of", "evaluate_node", "execute",
+    "op_mix_of", "register_kind", "registered_kinds", "to_signed", "wrap",
+    "IO_RESOURCE", "Partition", "PartitionError", "all_hardware", "all_software",
+    "from_mapping", "check_graph", "validate_graph", "graph_to_dot",
+    "partition_to_dot",
+]

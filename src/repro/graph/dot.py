@@ -1,0 +1,61 @@
+"""Graphviz/DOT export of task graphs and coloured partitioning graphs.
+
+The paper presents the partitioning result as a coloured graph (Fig. 2);
+this module renders the same picture textually.  Output is plain DOT so it
+can be inspected in tests without a Graphviz installation.
+"""
+
+from __future__ import annotations
+
+from .partition import IO_RESOURCE, Partition
+from .taskgraph import TaskGraph
+
+__all__ = ["graph_to_dot", "partition_to_dot"]
+
+#: Colour palette used for partitioning-graph rendering (resource order).
+_PALETTE = ("lightblue", "lightsalmon", "palegreen", "khaki",
+            "plum", "lightcyan", "wheat", "mistyrose")
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def graph_to_dot(graph: TaskGraph) -> str:
+    """Render a plain task graph."""
+    lines = [f"digraph {_quote(graph.name)} {{", "  rankdir=TB;"]
+    for node in graph.nodes:
+        shape = "invtriangle" if node.is_input else (
+            "triangle" if node.is_output else "box")
+        label = f"{node.name}\\n{node.kind}"
+        lines.append(f"  {_quote(node.name)} [shape={shape} label=\"{label}\"];")
+    for edge in graph.edges:
+        lines.append(
+            f"  {_quote(edge.src)} -> {_quote(edge.dst)} "
+            f"[label=\"{edge.words}x{edge.width}b\"];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def partition_to_dot(partition: Partition) -> str:
+    """Render a coloured partitioning graph (paper Fig. 2 style)."""
+    graph = partition.graph
+    colours: dict[str, str] = {IO_RESOURCE: "lightgray"}
+    for i, resource in enumerate(
+            tuple(partition.sw_resources) + tuple(partition.hw_resources)):
+        colours[resource] = _PALETTE[i % len(_PALETTE)]
+
+    lines = [f"digraph {_quote(graph.name + '_partitioned')} {{", "  rankdir=TB;"]
+    for node in graph.nodes:
+        resource = partition.resource_of(node.name)
+        fill = colours.get(resource, "white")
+        label = f"{node.name}\\n{node.kind}\\n[{resource}]"
+        lines.append(
+            f"  {_quote(node.name)} [shape=box style=filled "
+            f"fillcolor={fill} label=\"{label}\"];")
+    for edge in graph.edges:
+        cut = partition.resource_of(edge.src) != partition.resource_of(edge.dst)
+        style = " style=bold color=red" if cut else ""
+        lines.append(f"  {_quote(edge.src)} -> {_quote(edge.dst)} [{style.strip()}];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,383 @@
+"""Executable semantics for task-graph nodes.
+
+COOL specifications are data-flow dominated: every node is a function from
+input vectors to an output vector of fixed-point words.  This module gives
+each node *kind* three things:
+
+* ``evaluate`` -- the functional behaviour on integer vectors (two's
+  complement, wrapping at the node's bit width);
+* ``op_mix`` -- a count of primitive operations (``mov``, ``add``, ``mul``,
+  ``mac``, ``div``, ``cmp``, ``shift``, ``logic``) used by the software and
+  hardware cost estimators and by the HLS data-flow expansion;
+* ``arity`` -- the number of input ports (``None`` for variable arity).
+
+The :func:`execute` reference interpreter runs a whole graph on stimulus
+vectors.  It is the golden model against which the synthesized system
+(controllers + memory map + schedule, executed by :mod:`repro.sim`) is
+checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .taskgraph import GraphError, TaskGraph, TaskNode
+
+__all__ = [
+    "OP_CATEGORIES",
+    "OpSpec",
+    "SemanticsError",
+    "arity_of",
+    "evaluate_node",
+    "execute",
+    "op_mix_of",
+    "registered_kinds",
+    "register_kind",
+    "to_signed",
+    "wrap",
+]
+
+#: Primitive operation categories shared by estimation, HLS and codegen.
+OP_CATEGORIES = ("mov", "add", "mul", "mac", "div", "cmp", "shift", "logic")
+
+
+class SemanticsError(GraphError):
+    """Raised when a node cannot be evaluated (bad arity, params, ...)."""
+
+
+def wrap(value: int, width: int) -> int:
+    """Wrap ``value`` to an unsigned ``width``-bit integer."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit pattern as two's complement."""
+    value = wrap(value, width)
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def _wrap_vec(values: Sequence[int], width: int) -> list[int]:
+    return [wrap(v, width) for v in values]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Semantics record of one node kind."""
+
+    kind: str
+    arity: int | None
+    evaluate: Callable[[TaskNode, list[list[int]]], list[int]]
+    op_mix: Callable[[TaskNode], dict[str, int]]
+
+
+_REGISTRY: dict[str, OpSpec] = {}
+
+
+def register_kind(kind: str, arity: int | None,
+                  evaluate: Callable[[TaskNode, list[list[int]]], list[int]],
+                  op_mix: Callable[[TaskNode], dict[str, int]]) -> None:
+    """Register (or replace) semantics for a node kind."""
+    _REGISTRY[kind] = OpSpec(kind, arity, evaluate, op_mix)
+
+
+def registered_kinds() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _spec(node: TaskNode) -> OpSpec:
+    try:
+        return _REGISTRY[node.kind]
+    except KeyError:
+        raise SemanticsError(f"node {node.name!r}: unknown kind {node.kind!r}") from None
+
+
+def arity_of(node: TaskNode) -> int | None:
+    """Declared arity of a node kind (``None`` = variable)."""
+    return _spec(node).arity
+
+
+def op_mix_of(node: TaskNode) -> dict[str, int]:
+    """Primitive-operation counts of one activation of ``node``."""
+    mix = _spec(node).op_mix(node)
+    unknown = set(mix) - set(OP_CATEGORIES)
+    if unknown:
+        raise SemanticsError(f"node {node.name!r}: unknown op categories {sorted(unknown)}")
+    return {op: int(n) for op, n in mix.items() if n}
+
+
+def evaluate_node(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    """Evaluate one activation; checks arity and output shape."""
+    spec = _spec(node)
+    if spec.arity is not None and len(inputs) != spec.arity:
+        raise SemanticsError(
+            f"node {node.name!r} ({node.kind}): expected {spec.arity} inputs, "
+            f"got {len(inputs)}")
+    result = spec.evaluate(node, [list(vec) for vec in inputs])
+    if len(result) != node.words:
+        raise SemanticsError(
+            f"node {node.name!r}: produced {len(result)} words, declared {node.words}")
+    return _wrap_vec(result, node.width)
+
+
+# ----------------------------------------------------------------------
+# reference interpreter
+# ----------------------------------------------------------------------
+
+def execute(graph: TaskGraph,
+            stimuli: Mapping[str, Sequence[int]]) -> dict[str, list[int]]:
+    """Run ``graph`` on ``stimuli`` (one vector per input node).
+
+    Returns the value produced by *every* node, keyed by node name.  This
+    is the golden reference for the co-simulation tests: the synthesized
+    system must leave exactly ``execute(...)[out]`` in the memory cells /
+    output ports of each output node ``out``.
+    """
+    values: dict[str, list[int]] = {}
+    for name in graph.topological_order():
+        node = graph.node(name)
+        if node.is_input:
+            if name not in stimuli:
+                raise SemanticsError(f"missing stimulus for input node {name!r}")
+            vec = list(stimuli[name])
+            if len(vec) != node.words:
+                raise SemanticsError(
+                    f"stimulus for {name!r} has {len(vec)} words, expected {node.words}")
+            values[name] = _wrap_vec(vec, node.width)
+            continue
+        inputs = [values[e.src] for e in graph.in_edges(name)]
+        values[name] = evaluate_node(node, inputs)
+    return values
+
+
+# ----------------------------------------------------------------------
+# built-in kinds
+# ----------------------------------------------------------------------
+
+def _param(node: TaskNode, key: str, default=None, required: bool = False):
+    params = node.params
+    if required and key not in params:
+        raise SemanticsError(f"node {node.name!r} ({node.kind}): missing param {key!r}")
+    return params.get(key, default)
+
+
+def _ev_input(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    raise SemanticsError(f"input node {node.name!r} must be driven by a stimulus")
+
+
+def _ev_identity(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    return list(inputs[0])
+
+
+def _mix_mov(node: TaskNode) -> dict[str, int]:
+    return {"mov": node.words}
+
+
+def _ev_fir(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    taps = tuple(_param(node, "taps", required=True))
+    shift = int(_param(node, "shift", 0))
+    x = [to_signed(v, node.width) for v in inputs[0]]
+    out = []
+    for n in range(node.words):
+        acc = 0
+        for k, tap in enumerate(taps):
+            if 0 <= n - k < len(x):
+                acc += tap * x[n - k]
+        out.append(acc >> shift)
+    return out
+
+
+def _mix_fir(node: TaskNode) -> dict[str, int]:
+    taps = tuple(_param(node, "taps", required=True))
+    mix = {"mac": len(taps) * node.words, "mov": 2 * node.words}
+    if int(_param(node, "shift", 0)):
+        mix["shift"] = node.words
+    return mix
+
+
+def _ev_gain(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    factor = int(_param(node, "factor", required=True))
+    shift = int(_param(node, "shift", 0))
+    return [(to_signed(v, node.width) * factor) >> shift for v in inputs[0]]
+
+
+def _mix_gain(node: TaskNode) -> dict[str, int]:
+    mix = {"mul": node.words, "mov": 2 * node.words}
+    if int(_param(node, "shift", 0)):
+        mix["shift"] = node.words
+    return mix
+
+
+def _binary(op: Callable[[int, int], int]):
+    def _ev(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+        a, b = inputs
+        if len(a) != len(b):
+            raise SemanticsError(
+                f"node {node.name!r}: input length mismatch {len(a)} vs {len(b)}")
+        return [op(to_signed(x, node.width), to_signed(y, node.width))
+                for x, y in zip(a, b)]
+    return _ev
+
+
+def _mix_binary(category: str):
+    def _mix(node: TaskNode) -> dict[str, int]:
+        return {category: node.words, "mov": 3 * node.words}
+    return _mix
+
+
+def _ev_sum(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    if not inputs:
+        raise SemanticsError(f"sum node {node.name!r} needs at least one input")
+    length = len(inputs[0])
+    if any(len(vec) != length for vec in inputs):
+        raise SemanticsError(f"sum node {node.name!r}: input length mismatch")
+    return [sum(to_signed(vec[i], node.width) for vec in inputs)
+            for i in range(length)]
+
+
+def _mix_sum(node: TaskNode) -> dict[str, int]:
+    arity = int(_param(node, "arity", 2))
+    return {"add": max(arity - 1, 1) * node.words, "mov": (arity + 1) * node.words}
+
+
+def _ev_abs(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    return [abs(to_signed(v, node.width)) for v in inputs[0]]
+
+
+def _ev_negate(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    return [-to_signed(v, node.width) for v in inputs[0]]
+
+
+def _ev_shift(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    amount = int(_param(node, "amount", 1))
+    return [to_signed(v, node.width) >> amount if amount >= 0
+            else to_signed(v, node.width) << -amount
+            for v in inputs[0]]
+
+
+def _ev_threshold(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    level = int(_param(node, "level", 0))
+    return [1 if to_signed(v, node.width) > level else 0 for v in inputs[0]]
+
+
+def _ev_downsample(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    factor = int(_param(node, "factor", required=True))
+    if factor <= 0:
+        raise SemanticsError(f"node {node.name!r}: factor must be positive")
+    return list(inputs[0][::factor])[: node.words]
+
+
+def _mix_downsample(node: TaskNode) -> dict[str, int]:
+    return {"mov": 2 * node.words}
+
+
+def _ev_select(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    index = int(_param(node, "index", required=True))
+    vec = inputs[0]
+    if not 0 <= index < len(vec):
+        raise SemanticsError(
+            f"node {node.name!r}: select index {index} out of range 0..{len(vec) - 1}")
+    return [vec[index]] * node.words
+
+
+def _mix_select(node: TaskNode) -> dict[str, int]:
+    return {"mov": node.words + 1}
+
+
+def _ev_fuzzify(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    """Triangular membership functions; one membership word per set."""
+    sets = tuple(_param(node, "sets", required=True))
+    scale = int(_param(node, "scale", 255))
+    out: list[int] = []
+    for x_raw in inputs[0]:
+        x = to_signed(x_raw, node.width)
+        for a, b, c in sets:
+            if x <= a or x >= c:
+                out.append(0)
+            elif x <= b:
+                out.append(scale * (x - a) // max(b - a, 1))
+            else:
+                out.append(scale * (c - x) // max(c - b, 1))
+    return out
+
+
+def _mix_fuzzify(node: TaskNode) -> dict[str, int]:
+    sets = tuple(_param(node, "sets", required=True))
+    n = len(sets) * max(node.words // max(len(sets), 1), 1)
+    return {"cmp": 3 * n, "add": 2 * n, "mul": n, "div": n, "mov": 2 * n}
+
+
+def _ev_defuzz(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    """Centre-of-gravity defuzzification over a membership vector."""
+    centroids = tuple(_param(node, "centroids", required=True))
+    weights = inputs[0]
+    if len(weights) != len(centroids):
+        raise SemanticsError(
+            f"node {node.name!r}: {len(weights)} memberships vs "
+            f"{len(centroids)} centroids")
+    num = sum(w * c for w, c in zip(weights, centroids))
+    den = sum(weights)
+    value = num // den if den else 0
+    return [value] * node.words
+
+
+def _mix_defuzz(node: TaskNode) -> dict[str, int]:
+    n = len(tuple(_param(node, "centroids", required=True)))
+    return {"mac": n, "add": n, "div": 1, "mov": n + 1}
+
+
+def _ev_concat(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    """Concatenate the input vectors in port order."""
+    out: list[int] = []
+    for vec in inputs:
+        out.extend(vec)
+    return out
+
+
+def _mix_concat(node: TaskNode) -> dict[str, int]:
+    return {"mov": 2 * node.words}
+
+
+def _ev_generic(node: TaskNode, inputs: list[list[int]]) -> list[int]:
+    """Deterministic mixing function so random graphs stay executable."""
+    state = int(_param(node, "seed", 1)) & 0xFFFFFFFFFFFFFFFF
+    for vec in inputs:
+        for word in vec:
+            state = (state * 6364136223846793005 + wrap(word, node.width)
+                     + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+    out = []
+    for i in range(node.words):
+        out.append((state >> (i % 32)) + i * 2654435761)
+    return out
+
+
+def _mix_generic(node: TaskNode) -> dict[str, int]:
+    mix = dict(_param(node, "mix", ()) or ())
+    if not mix:
+        mix = {"add": 4 * node.words, "mul": 2 * node.words, "mov": 4 * node.words}
+    return mix
+
+
+register_kind("input", 0, _ev_input, _mix_mov)
+register_kind("output", 1, _ev_identity, _mix_mov)
+register_kind("copy", 1, _ev_identity, _mix_mov)
+register_kind("fir", 1, _ev_fir, _mix_fir)
+register_kind("gain", 1, _ev_gain, _mix_gain)
+register_kind("add", 2, _binary(lambda a, b: a + b), _mix_binary("add"))
+register_kind("sub", 2, _binary(lambda a, b: a - b), _mix_binary("add"))
+register_kind("mul", 2, _binary(lambda a, b: a * b), _mix_binary("mul"))
+register_kind("min", 2, _binary(min), _mix_binary("cmp"))
+register_kind("max", 2, _binary(max), _mix_binary("cmp"))
+register_kind("sum", None, _ev_sum, _mix_sum)
+register_kind("abs", 1, _ev_abs, _mix_binary("cmp"))
+register_kind("negate", 1, _ev_negate, _mix_binary("add"))
+register_kind("shift", 1, _ev_shift, _mix_binary("shift"))
+register_kind("threshold", 1, _ev_threshold, _mix_binary("cmp"))
+register_kind("downsample", 1, _ev_downsample, _mix_downsample)
+register_kind("select", 1, _ev_select, _mix_select)
+register_kind("concat", None, _ev_concat, _mix_concat)
+register_kind("fuzzify", 1, _ev_fuzzify, _mix_fuzzify)
+register_kind("defuzz", 1, _ev_defuzz, _mix_defuzz)
+register_kind("generic", None, _ev_generic, _mix_generic)

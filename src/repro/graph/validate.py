@@ -1,0 +1,71 @@
+"""Structural validation of task graphs.
+
+Collects *all* problems instead of stopping at the first one, so tooling
+(parser, random generator, tests) can present a complete diagnosis.
+"""
+
+from __future__ import annotations
+
+from .semantics import arity_of, SemanticsError
+from .taskgraph import GraphError, TaskGraph
+
+__all__ = ["validate_graph", "check_graph"]
+
+
+def validate_graph(graph: TaskGraph) -> list[str]:
+    """Return a list of human-readable problems; empty means valid."""
+    problems: list[str] = []
+
+    if not graph.is_acyclic():
+        problems.append("graph contains a cycle")
+
+    for node in graph.nodes:
+        in_edges = graph.in_edges(node.name)
+        ports = [e.dst_port for e in in_edges]
+        if ports != list(range(len(ports))):
+            problems.append(
+                f"node {node.name!r}: input ports {ports} are not contiguous from 0")
+        try:
+            arity = arity_of(node)
+        except SemanticsError as exc:
+            problems.append(str(exc))
+            continue
+        if arity is not None and len(in_edges) != arity:
+            problems.append(
+                f"node {node.name!r} ({node.kind}): has {len(in_edges)} inputs, "
+                f"kind requires {arity}")
+        if node.is_input and in_edges:
+            problems.append(f"input node {node.name!r} must not have predecessors")
+        if node.is_output and graph.out_edges(node.name):
+            problems.append(f"output node {node.name!r} must not have successors")
+
+    for edge in graph.edges:
+        src = graph.node(edge.src)
+        if edge.width != src.width or edge.words != src.words:
+            problems.append(
+                f"edge {edge.name}: payload {edge.words}x{edge.width}b does not "
+                f"match producer {src.words}x{src.width}b")
+
+    if not graph.inputs():
+        problems.append("graph has no input nodes")
+    if not graph.outputs():
+        problems.append("graph has no output nodes")
+
+    # every internal node should be on a path from an input to an output
+    reachable: set[str] = set()
+    for inp in graph.inputs():
+        reachable.add(inp.name)
+        reachable |= graph.reachable_from(inp.name)
+    for node in graph.internal_nodes():
+        if node.name not in reachable:
+            problems.append(f"node {node.name!r} is unreachable from any input")
+
+    return problems
+
+
+def check_graph(graph: TaskGraph) -> None:
+    """Raise :class:`GraphError` with a full report if the graph is invalid."""
+    problems = validate_graph(graph)
+    if problems:
+        details = "\n  - ".join(problems)
+        raise GraphError(f"invalid task graph {graph.name!r}:\n  - {details}")

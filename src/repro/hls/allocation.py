@@ -1,0 +1,64 @@
+"""Functional-unit allocation: picking the FU set before scheduling.
+
+Two entry points:
+
+* :func:`allocate_for_latency` -- minimum-cost FU set whose list
+  schedule meets a latency bound (incremental: start from one FU per
+  category, repeatedly add the unit with the best marginal speed-up);
+* :func:`allocate_minimal` -- one FU per used category, the smallest
+  legal allocation (the area-lean corner OSCAR starts from).
+"""
+
+from __future__ import annotations
+
+from .dfg import Dfg, HlsError
+from .schedule import list_schedule_ops
+
+__all__ = ["allocate_minimal", "allocate_for_latency"]
+
+
+def allocate_minimal(dfg: Dfg) -> dict[str, int]:
+    """One functional unit per category present in the DFG."""
+    return {category: 1 for category in dfg.categories()}
+
+
+def allocate_for_latency(dfg: Dfg, latency_of, area_of,
+                         target_latency: int,
+                         max_fus_per_category: int = 8) -> dict[str, int]:
+    """Smallest-area FU set meeting ``target_latency``.
+
+    Greedy marginal analysis: while the schedule misses the target, add
+    the single FU with the best (cycles saved) / (CLB cost) ratio.
+    Raises :class:`HlsError` when the target is unreachable even with
+    ``max_fus_per_category`` everywhere.
+    """
+    allocation = allocate_minimal(dfg)
+    if not allocation:
+        return allocation
+
+    def length(alloc: dict[str, int]) -> int:
+        return list_schedule_ops(dfg, latency_of, alloc).length
+
+    current = length(allocation)
+    while current > target_latency:
+        best_category, best_ratio, best_length = None, 0.0, current
+        for category in allocation:
+            if allocation[category] >= max_fus_per_category:
+                continue
+            trial = dict(allocation)
+            trial[category] += 1
+            trial_length = length(trial)
+            saved = current - trial_length
+            cost = max(area_of(category), 1e-9)
+            ratio = saved / cost
+            if saved > 0 and ratio > best_ratio:
+                best_category = category
+                best_ratio = ratio
+                best_length = trial_length
+        if best_category is None:
+            raise HlsError(
+                f"cannot reach latency {target_latency} (best achievable "
+                f"{current} with {allocation})")
+        allocation[best_category] += 1
+        current = best_length
+    return allocation

@@ -1,0 +1,43 @@
+"""Expansion of task-graph nodes into operator-level DFGs.
+
+A task node's operation mix (:func:`repro.graph.semantics.op_mix_of`)
+is laid out as ``node.words`` independent *lanes* -- one per produced
+data word, the natural parallelism of block processing -- with the
+operations of each lane chained serially (each consumes its lane
+predecessor's value).  ``mov`` operations become wires and are dropped.
+
+This shape gives high-level synthesis exactly the trade-off space the
+estimators assume: one functional unit per category executes the node in
+roughly ``count`` cycles (pipelined lanes), more units exploit the lane
+parallelism up to ``words``-fold.
+"""
+
+from __future__ import annotations
+
+from ..graph.semantics import op_mix_of
+from ..graph.taskgraph import TaskNode
+from .dfg import Dfg
+
+__all__ = ["expand_node"]
+
+
+def expand_node(node: TaskNode) -> Dfg:
+    """Build the operator DFG of one task node."""
+    mix = op_mix_of(node)
+    dfg = Dfg(node.name)
+
+    lanes = max(1, node.words)
+    # distribute each category's operations over the lanes round-robin
+    per_lane: list[list[str]] = [[] for _ in range(lanes)]
+    for category in sorted(mix):
+        if category == "mov":
+            continue  # wires, not scheduled operations
+        for i in range(mix[category]):
+            per_lane[i % lanes].append(category)
+
+    for lane_ops in per_lane:
+        previous: int | None = None
+        for category in lane_ops:
+            inputs = (previous,) if previous is not None else ()
+            previous = dfg.add_op(category, inputs)
+    return dfg

@@ -1,0 +1,105 @@
+"""RTL datapath model: the output of high-level synthesis.
+
+A :class:`RtlDatapath` records what the synthesized hardware consists
+of -- functional units, registers, the multiplexers implied by sharing
+-- together with the micro-schedule the data-path controller sequences.
+The XC4000 area model (:mod:`repro.hls.area`) prices it in CLBs, and the
+VHDL emitter renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .binding import Binding
+from .schedule import HlsSchedule
+
+__all__ = ["RtlFu", "RtlDatapath", "build_rtl"]
+
+
+@dataclass(frozen=True)
+class RtlFu:
+    """One functional unit instance."""
+
+    name: str
+    category: str
+    width: int
+    #: number of distinct sources feeding each operand port
+    input_sources: int
+
+    @property
+    def mux_inputs(self) -> int:
+        """Multiplexer fan-in required in front of the unit."""
+        return max(self.input_sources, 1)
+
+
+@dataclass
+class RtlDatapath:
+    """The structural result of HLS for one task node (or shared set)."""
+
+    name: str
+    width: int
+    fus: list[RtlFu] = field(default_factory=list)
+    register_count: int = 0
+    latency_cycles: int = 0
+    #: micro-program: step -> list of (op uid, fu name)
+    micro_schedule: dict[int, list[tuple[int, str]]] = field(
+        default_factory=dict)
+
+    @property
+    def fu_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for fu in self.fus:
+            counts[fu.category] = counts.get(fu.category, 0) + 1
+        return counts
+
+    @property
+    def total_mux_inputs(self) -> int:
+        return sum(fu.mux_inputs for fu in self.fus if fu.mux_inputs > 1)
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "fus": self.fu_counts,
+            "registers": self.register_count,
+            "latency_cycles": self.latency_cycles,
+            "mux_inputs": self.total_mux_inputs,
+        }
+
+
+def build_rtl(name: str, width: int, schedule: HlsSchedule,
+              binding: Binding) -> RtlDatapath:
+    """Assemble the RTL datapath from a schedule and its binding."""
+    dfg = schedule.dfg
+    fus: list[RtlFu] = []
+    for category, count in sorted(binding.fu_counts.items()):
+        for index in range(count):
+            ops = binding.ops_on_fu(category, index)
+            # distinct registers feeding this unit = mux size
+            sources: set[int] = set()
+            for uid in ops:
+                for dep in dfg.ops[uid].inputs:
+                    sources.add(binding.register_of[dep])
+            fus.append(RtlFu(
+                name=f"{category}{index}",
+                category=category,
+                width=width,
+                input_sources=max(len(sources), 1),
+            ))
+
+    micro: dict[int, list[tuple[int, str]]] = {}
+    for uid, op in dfg.ops.items():
+        step = schedule.start[uid]
+        category, index = binding.fu_of[uid]
+        micro.setdefault(step, []).append((uid, f"{category}{index}"))
+    for step in micro:
+        micro[step].sort()
+
+    return RtlDatapath(
+        name=name,
+        width=width,
+        fus=fus,
+        register_count=binding.register_count,
+        latency_cycles=schedule.length,
+        micro_schedule=micro,
+    )

@@ -1,0 +1,20 @@
+"""Hardware/software partitioning: MILP, branch-and-bound, heuristics, GA."""
+
+from .base import (PartitioningProblem, PartitionResult, Partitioner,
+                   evaluate_mapping)
+from .feasibility import (FeasibilityReport, area_usage, check_feasibility,
+                          memory_words_needed)
+from .milp import MilpError, MilpFormulation, MilpPartitioner, build_formulation
+from .bnb import BnbStats, solve_bnb
+from .scipy_backend import solve_milp
+from .heuristic import GreedyPartitioner, MilpHeuristicPartitioner
+from .genetic import GaConfig, GeneticPartitioner
+
+__all__ = [
+    "PartitioningProblem", "PartitionResult", "Partitioner",
+    "evaluate_mapping", "FeasibilityReport", "area_usage",
+    "check_feasibility", "memory_words_needed", "MilpError",
+    "MilpFormulation", "MilpPartitioner", "build_formulation", "BnbStats",
+    "solve_bnb", "solve_milp", "GreedyPartitioner",
+    "MilpHeuristicPartitioner", "GaConfig", "GeneticPartitioner",
+]

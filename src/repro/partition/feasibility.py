@@ -1,0 +1,89 @@
+"""Feasibility checks shared by all partitioners.
+
+A partition is implementable on the target board when (paper Section 3):
+
+* every FPGA's estimated CLB usage fits its capacity (196 CLBs for the
+  XC4005 devices of the case study),
+* the memory cells of all inter-unit transfers fit the shared RAM
+  (64 kB on the paper's board), and
+* an optional deadline on the schedule makespan is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..estimate.model import CostModel
+from ..graph.partition import Partition
+from ..platform.architecture import TargetArchitecture
+
+__all__ = ["area_usage", "memory_words_needed", "FeasibilityReport",
+           "check_feasibility"]
+
+
+def area_usage(partition: Partition, model: CostModel) -> dict[str, int]:
+    """Estimated CLB usage per FPGA (sum of node datapath estimates)."""
+    usage = {name: 0 for name in partition.hw_resources}
+    for node_name in partition.hw_nodes():
+        resource = partition.resource_of(node_name)
+        usage[resource] += model.area(node_name, resource)
+    return usage
+
+
+def edge_memory_words(edge, arch: TargetArchitecture) -> int:
+    """Memory cells needed by one cut edge in the shared memory."""
+    cell_bits = arch.memory.word_bytes * 8
+    return max(1, ceil(edge.width / cell_bits)) * edge.words
+
+
+def memory_words_needed(partition: Partition,
+                        arch: TargetArchitecture) -> int:
+    """Naive (no-reuse) memory footprint of all cut edges, in words.
+
+    This is the partitioning-time upper bound; the co-synthesis memory
+    allocator (:mod:`repro.stg.memory`) reuses cells via lifetime
+    analysis and can only do better.
+    """
+    return sum(edge_memory_words(e, arch) for e in partition.cut_edges())
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of all feasibility checks for one partition."""
+
+    area: dict
+    area_ok: bool
+    memory_words: int
+    memory_ok: bool
+    makespan: int | None
+    deadline_ok: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.area_ok and self.memory_ok and self.deadline_ok
+
+    def problems(self) -> list[str]:
+        out = []
+        if not self.area_ok:
+            out.append(f"FPGA area exceeded: {self.area}")
+        if not self.memory_ok:
+            out.append(f"memory footprint {self.memory_words} words too large")
+        if not self.deadline_ok:
+            out.append(f"deadline missed (makespan {self.makespan})")
+        return out
+
+
+def check_feasibility(partition: Partition, model: CostModel,
+                      makespan: int | None = None,
+                      deadline: int | None = None) -> FeasibilityReport:
+    """Run every feasibility check; ``makespan`` comes from a schedule."""
+    arch = model.arch
+    usage = area_usage(partition, model)
+    area_ok = all(usage[f.name] <= f.clb_capacity for f in arch.fpgas)
+    words = memory_words_needed(partition, arch)
+    memory_ok = words <= arch.memory.words
+    deadline_ok = (deadline is None or makespan is None
+                   or makespan <= deadline)
+    return FeasibilityReport(usage, area_ok, words, memory_ok,
+                             makespan, deadline_ok)

@@ -1,0 +1,51 @@
+"""Solve :class:`repro.partition.milp.MilpFormulation` with SciPy/HiGHS.
+
+Kept separate from the formulation so the pure-Python branch-and-bound
+backend (:mod:`repro.partition.bnb`) can consume the identical program --
+the cross-checking tests rely on both backends agreeing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from .milp import MilpFormulation
+
+__all__ = ["solve_milp"]
+
+
+def _sparse(rows: list[dict[int, float]], n_vars: int) -> csr_matrix:
+    data, row_idx, col_idx = [], [], []
+    for i, row in enumerate(rows):
+        for j, coef in row.items():
+            row_idx.append(i)
+            col_idx.append(j)
+            data.append(coef)
+    return csr_matrix((data, (row_idx, col_idx)),
+                      shape=(len(rows), n_vars))
+
+
+def solve_milp(form: MilpFormulation) -> np.ndarray | None:
+    """Return the optimal solution vector, or ``None`` if infeasible."""
+    constraints = []
+    if form.a_ub:
+        constraints.append(LinearConstraint(
+            _sparse(form.a_ub, form.n_vars),
+            ub=np.asarray(form.b_ub, dtype=float)))
+    if form.a_eq:
+        rhs = np.asarray(form.b_eq, dtype=float)
+        constraints.append(LinearConstraint(
+            _sparse(form.a_eq, form.n_vars), lb=rhs, ub=rhs))
+
+    result = milp(
+        c=np.asarray(form.c, dtype=float),
+        constraints=constraints,
+        integrality=np.asarray(form.integrality),
+        bounds=Bounds(np.asarray(form.lb, dtype=float),
+                      np.asarray(form.ub, dtype=float)),
+    )
+    if not result.success or result.x is None:
+        return None
+    return result.x

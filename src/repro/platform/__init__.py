@@ -1,0 +1,14 @@
+"""Target platform library: processors, FPGAs, memories, buses, boards."""
+
+from .processors import PlatformError, Processor
+from .fpgas import Fpga
+from .memory import MemoryDevice
+from .bus import Bus
+from .architecture import TargetArchitecture
+from .presets import cool_board, dsp56001, minimal_board, multi_board, xc4005
+
+__all__ = [
+    "PlatformError", "Processor", "Fpga", "MemoryDevice", "Bus",
+    "TargetArchitecture", "cool_board", "dsp56001", "minimal_board",
+    "multi_board", "xc4005",
+]

@@ -1,0 +1,64 @@
+"""System buses.
+
+All processing units of the COOL target architecture communicate over a
+shared bus (the paper's "bus card"); conflicts are prevented by a
+synthesized bus arbiter.  The model here covers what estimation, memory
+allocation and co-simulation need: width, clock, per-word transfer cost
+and arbitration overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .processors import PlatformError
+
+__all__ = ["Bus"]
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A shared system bus.
+
+    Parameters
+    ----------
+    name:
+        Unique name, e.g. ``"sysbus"``.
+    width_bits:
+        Data width of the bus.
+    clock_hz:
+        Bus clock.
+    cycles_per_word:
+        Bus cycles needed to move one bus word once granted.
+    arbitration_cycles:
+        Fixed cycles from request to grant under no contention.
+    """
+
+    name: str
+    width_bits: int = 16
+    clock_hz: float = 10e6
+    cycles_per_word: int = 2
+    arbitration_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("bus name must be non-empty")
+        if self.width_bits <= 0:
+            raise PlatformError(f"bus {self.name!r}: width must be positive")
+        if self.clock_hz <= 0:
+            raise PlatformError(f"bus {self.name!r}: clock must be positive")
+        if self.cycles_per_word <= 0:
+            raise PlatformError(f"bus {self.name!r}: cycles_per_word must be positive")
+
+    def beats_for(self, width_bits: int, words: int) -> int:
+        """Number of bus words needed to move ``words`` x ``width_bits``."""
+        per_word = max(1, ceil(width_bits / self.width_bits))
+        return per_word * words
+
+    def transfer_cycles(self, width_bits: int, words: int) -> int:
+        """Bus cycles for one granted burst transfer (without arbitration)."""
+        return self.beats_for(width_bits, words) * self.cycles_per_word
+
+    def seconds(self, cycles: int) -> float:
+        return cycles / self.clock_hz

@@ -1,0 +1,65 @@
+"""Shared memory devices.
+
+The paper's prototyping board carries a 64 kB static RAM card used for all
+inter-unit communication; the co-synthesis step allocates memory cells
+inside it starting from a base address (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .processors import PlatformError
+
+__all__ = ["MemoryDevice"]
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """A shared memory reachable over the system bus.
+
+    Parameters
+    ----------
+    name:
+        Unique resource name, e.g. ``"sram"``.
+    size_bytes:
+        Capacity of the device.
+    base_address:
+        First address of the device in the global memory map.
+    word_bytes:
+        Width of one addressable cell as used by the allocator.
+    read_cycles / write_cycles:
+        Access latencies in bus clock cycles.
+    """
+
+    name: str
+    size_bytes: int
+    base_address: int = 0
+    word_bytes: int = 2
+    read_cycles: int = 2
+    write_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("memory name must be non-empty")
+        if self.size_bytes <= 0:
+            raise PlatformError(f"memory {self.name!r}: size must be positive")
+        if self.base_address < 0:
+            raise PlatformError(f"memory {self.name!r}: negative base address")
+        if self.word_bytes <= 0:
+            raise PlatformError(f"memory {self.name!r}: word size must be positive")
+
+    @property
+    def words(self) -> int:
+        """Number of addressable words in the device."""
+        return self.size_bytes // self.word_bytes
+
+    @property
+    def end_address(self) -> int:
+        """One past the last valid address."""
+        return self.base_address + self.words
+
+    def contains(self, address: int, n_words: int = 1) -> bool:
+        """True if ``[address, address + n_words)`` lies inside the device."""
+        return (self.base_address <= address
+                and address + n_words <= self.end_address)

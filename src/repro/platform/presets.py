@@ -1,0 +1,91 @@
+"""Preset platform components matching the paper's prototyping board.
+
+The paper implements the fuzzy controller on "a Motorola DSP56001 placed
+on a plug-in card in a PC and two Xilinx FPGAs 4005 (with 196 CLBs each)
+on a board.  In addition, a memory card with 64kB static RAM was build and
+all components were connected by a bus card."  :func:`cool_board` builds
+exactly this architecture; :func:`minimal_board` is the one-CPU/one-FPGA
+target used for the 4-band equalizer example (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+from .architecture import TargetArchitecture
+from .bus import Bus
+from .fpgas import Fpga
+from .memory import MemoryDevice
+from .processors import Processor
+
+__all__ = ["dsp56001", "xc4005", "cool_board", "minimal_board", "multi_board"]
+
+
+def dsp56001(name: str = "dsp0", clock_hz: float = 20e6) -> Processor:
+    """Motorola DSP56001 executing *compiled C*, as COOL generates it.
+
+    The device can retire a MAC per instruction cycle in hand-written
+    assembly, but COOL emits C; late-90s C compilers for the 56k family
+    kept pipelines far from full.  The table models compiled code
+    (2-3 cycles per ALU op, software-emulated division), which is the
+    code the synthesized system actually runs.
+    """
+    return Processor(
+        name=name,
+        model="DSP56001",
+        clock_hz=clock_hz,
+        cycles=(("mov", 2), ("add", 2), ("mul", 3), ("mac", 3),
+                ("div", 25), ("cmp", 2), ("shift", 2), ("logic", 2)),
+        call_overhead_cycles=24,
+        word_bytes=3,
+    )
+
+
+def xc4005(name: str = "fpga0", clock_hz: float = 10e6) -> Fpga:
+    """Xilinx XC4005 model: 196 CLBs, XC4000-class operator tables."""
+    return Fpga(
+        name=name,
+        model="XC4005",
+        clb_capacity=196,
+        clock_hz=clock_hz,
+    )
+
+
+def cool_board(memory_kib: int = 64) -> TargetArchitecture:
+    """The paper's board: DSP56001 + 2x XC4005 + 64 kB SRAM + bus card."""
+    return TargetArchitecture(
+        name="cool_board",
+        processors=(dsp56001("dsp0"),),
+        fpgas=(xc4005("fpga0"), xc4005("fpga1")),
+        memory=MemoryDevice("sram", memory_kib * 1024, base_address=0x1000,
+                            word_bytes=2, read_cycles=1, write_cycles=1),
+        bus=Bus("sysbus", width_bits=16, clock_hz=10e6, cycles_per_word=1),
+    )
+
+
+def minimal_board() -> TargetArchitecture:
+    """One CPU + one FPGA: the equalizer target of paper Fig. 2."""
+    return TargetArchitecture(
+        name="minimal_board",
+        processors=(dsp56001("dsp0"),),
+        fpgas=(xc4005("fpga0"),),
+        memory=MemoryDevice("sram", 64 * 1024, base_address=0x1000,
+                            word_bytes=2, read_cycles=1, write_cycles=1),
+        bus=Bus("sysbus", width_bits=16, clock_hz=10e6, cycles_per_word=1),
+    )
+
+
+def multi_board(n_processors: int = 2, n_fpgas: int = 2,
+                clb_capacity: int = 400) -> TargetArchitecture:
+    """A larger multi-processor / multi-ASIC board for scaling studies."""
+    processors = tuple(dsp56001(f"dsp{i}") for i in range(n_processors))
+    fpgas = tuple(
+        Fpga(name=f"fpga{i}", model="XC4010", clb_capacity=clb_capacity,
+             clock_hz=10e6)
+        for i in range(n_fpgas))
+    return TargetArchitecture(
+        name=f"multi_board_{n_processors}p{n_fpgas}f",
+        processors=processors,
+        fpgas=fpgas,
+        memory=MemoryDevice("sram", 256 * 1024, base_address=0x1000,
+                            word_bytes=2, read_cycles=1, write_cycles=1),
+        bus=Bus("sysbus", width_bits=32, clock_hz=20e6, cycles_per_word=1),
+    )

@@ -1,0 +1,86 @@
+"""Software processing units (processors / DSPs).
+
+A :class:`Processor` is described by its clock and an instruction cycle
+table keyed by the primitive operation categories of
+:mod:`repro.graph.semantics`.  The table abstracts the instruction set the
+way 1990s co-design estimators did: one average cycle count per operation
+class, with multiply-accumulate as a first-class citizen because the
+paper's target, the Motorola DSP56001, executes a MAC per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.semantics import OP_CATEGORIES
+
+__all__ = ["Processor", "PlatformError"]
+
+
+class PlatformError(ValueError):
+    """Raised for inconsistent platform descriptions."""
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A programmable processing unit executing the software partition.
+
+    Parameters
+    ----------
+    name:
+        Unique resource name, e.g. ``"dsp0"``.
+    model:
+        Device model string, e.g. ``"DSP56001"``.
+    clock_hz:
+        Core clock frequency.
+    cycles:
+        Cycles per primitive operation category.  Missing categories
+        default to :attr:`default_cycles`.
+    call_overhead_cycles:
+        Fixed per-activation overhead (function call, loop setup, start /
+        done handshake with the system controller).
+    word_bytes:
+        Natural data word size used when estimating moves.
+    """
+
+    name: str
+    model: str
+    clock_hz: float
+    cycles: tuple = field(default_factory=tuple)
+    call_overhead_cycles: int = 20
+    default_cycles: int = 2
+    word_bytes: int = 3  # DSP56001: 24-bit words
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("processor name must be non-empty")
+        if self.clock_hz <= 0:
+            raise PlatformError(f"processor {self.name!r}: clock must be positive")
+        unknown = {op for op, _ in self.cycles} - set(OP_CATEGORIES)
+        if unknown:
+            raise PlatformError(
+                f"processor {self.name!r}: unknown op categories {sorted(unknown)}")
+
+    @property
+    def cycle_table(self) -> dict[str, int]:
+        """Cycles per op category, with defaults filled in."""
+        table = {op: self.default_cycles for op in OP_CATEGORIES}
+        table.update(dict(self.cycles))
+        return table
+
+    def cycles_for(self, op: str) -> int:
+        if op not in OP_CATEGORIES:
+            raise PlatformError(f"unknown op category {op!r}")
+        return self.cycle_table[op]
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count into seconds on this processor."""
+        return cycles / self.clock_hz
+
+    @property
+    def is_software(self) -> bool:
+        return True
+
+    @property
+    def is_hardware(self) -> bool:
+        return False

@@ -1,0 +1,13 @@
+"""Static scheduling: ASAP/ALAP analysis and resource-constrained lists."""
+
+from .schedule import Schedule, ScheduleEntry, ScheduleError, TransferEntry
+from .asap_alap import alap_times, asap_times, critical_path_length, slack
+from .list_scheduler import list_schedule
+from .validate import check_schedule, validate_schedule
+from .gantt import gantt_chart
+
+__all__ = [
+    "Schedule", "ScheduleEntry", "ScheduleError", "TransferEntry",
+    "alap_times", "asap_times", "critical_path_length", "slack",
+    "list_schedule", "check_schedule", "validate_schedule", "gantt_chart",
+]

@@ -1,0 +1,71 @@
+"""ASAP / ALAP analysis on a partitioned task graph.
+
+Resource-unconstrained earliest/latest start times with the mapped
+latencies of a :class:`repro.estimate.CostModel`.  Used for list-scheduler
+priorities (critical-path length, slack) and as a makespan lower bound.
+Communication latencies of cut edges are included on the edges.
+"""
+
+from __future__ import annotations
+
+from ..estimate.model import CostModel
+from ..graph.partition import Partition
+
+__all__ = ["asap_times", "alap_times", "critical_path_length", "slack"]
+
+
+def _edge_delay(model: CostModel, partition: Partition, edge) -> int:
+    """Delay contributed by an edge: transfer time if it crosses units."""
+    if partition.resource_of(edge.src) == partition.resource_of(edge.dst):
+        return 0
+    return model.transfer_ticks(edge)
+
+
+def _latency(model: CostModel, partition: Partition, node: str) -> int:
+    return model.latency(node, partition.resource_of(node))
+
+
+def asap_times(partition: Partition, model: CostModel) -> dict[str, int]:
+    """Earliest start time of every node, ignoring resource conflicts."""
+    graph = partition.graph
+    start: dict[str, int] = {}
+    for name in graph.topological_order():
+        earliest = 0
+        for edge in graph.in_edges(name):
+            pred_end = start[edge.src] + _latency(model, partition, edge.src)
+            earliest = max(earliest, pred_end + _edge_delay(model, partition, edge))
+        start[name] = earliest
+    return start
+
+
+def critical_path_length(partition: Partition, model: CostModel) -> int:
+    """Length of the critical path = unconstrained makespan lower bound."""
+    starts = asap_times(partition, model)
+    return max((starts[n] + _latency(model, partition, n) for n in starts),
+               default=0)
+
+
+def alap_times(partition: Partition, model: CostModel,
+               deadline: int | None = None) -> dict[str, int]:
+    """Latest start times meeting ``deadline`` (default: critical path)."""
+    graph = partition.graph
+    horizon = deadline if deadline is not None else \
+        critical_path_length(partition, model)
+    latest: dict[str, int] = {}
+    for name in reversed(graph.topological_order()):
+        lat = _latency(model, partition, name)
+        bound = horizon - lat
+        for edge in graph.out_edges(name):
+            succ_latest = latest[edge.dst]
+            bound = min(bound, succ_latest
+                        - _edge_delay(model, partition, edge) - lat)
+        latest[name] = bound
+    return latest
+
+
+def slack(partition: Partition, model: CostModel,
+          deadline: int | None = None) -> dict[str, int]:
+    """Per-node slack = ALAP - ASAP; zero-slack nodes are critical."""
+    asap = asap_times(partition, model)
+    alap = alap_times(partition, model, deadline)
+    return {name: alap[name] - asap[name] for name in asap}

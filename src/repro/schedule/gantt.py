@@ -1,0 +1,46 @@
+"""Text Gantt charts for static schedules.
+
+Renders the schedule the way paper Fig. 2 presents it: one row per
+processing unit (plus the bus), time flowing left to right.
+"""
+
+from __future__ import annotations
+
+from .schedule import Schedule
+
+__all__ = ["gantt_chart"]
+
+
+def gantt_chart(schedule: Schedule, width: int = 72) -> str:
+    """Render an ASCII Gantt chart scaled to ``width`` characters."""
+    makespan = schedule.makespan
+    if makespan == 0:
+        return "(empty schedule)"
+    scale = width / makespan
+
+    def column(t: int) -> int:
+        return min(int(t * scale), width - 1)
+
+    lines = [f"makespan = {makespan} bus ticks"]
+    resources = list(schedule.partition.resources_used)
+    label_w = max((len(r) for r in resources + ["bus"]), default=3) + 1
+
+    for resource in resources:
+        row = [" "] * width
+        for entry in schedule.on_resource(resource):
+            lo, hi = column(entry.start), column(entry.end - 1)
+            for i in range(lo, hi + 1):
+                row[i] = "#"
+            tag = entry.node[: hi - lo + 1]
+            for offset, ch in enumerate(tag):
+                row[lo + offset] = ch
+        lines.append(f"{resource:<{label_w}}|{''.join(row)}|")
+
+    row = [" "] * width
+    for transfer in sorted(schedule.transfers, key=lambda t: t.start):
+        lo, hi = column(transfer.start), column(transfer.end - 1)
+        mark = "w" if transfer.direction == "write" else "r"
+        for i in range(lo, hi + 1):
+            row[i] = mark
+    lines.append(f"{'bus':<{label_w}}|{''.join(row)}|")
+    return "\n".join(lines)

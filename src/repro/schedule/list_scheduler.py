@@ -1,0 +1,128 @@
+"""Resource-constrained list scheduling.
+
+Produces the static schedule of COOL's partitioning phase: every
+processing unit executes one node at a time; payloads of cut edges move
+over the single system bus (write burst by the producer side, later a
+read burst for the consumer side), and the bus carries one burst at a
+time.  Priorities are critical-path lengths, so the scheduler is the
+classic latency-weighted list scheduler of the HLS literature applied at
+task granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..estimate.model import CostModel
+from ..graph.partition import Partition
+from .asap_alap import _edge_delay, _latency  # shared cost helpers
+from .schedule import Schedule, ScheduleEntry, ScheduleError, TransferEntry
+
+__all__ = ["list_schedule"]
+
+
+@dataclass
+class _Timeline:
+    """Busy intervals of one exclusive resource, kept sorted."""
+
+    busy: list[tuple[int, int]] = field(default_factory=list)
+
+    def earliest_slot(self, after: int, duration: int) -> int:
+        """First start >= after such that [start, start+duration) is free."""
+        start = after
+        for b_start, b_end in self.busy:
+            if b_end <= start:
+                continue
+            if b_start >= start + duration:
+                break
+            start = b_end
+        return start
+
+    def reserve(self, start: int, duration: int) -> None:
+        self.busy.append((start, start + duration))
+        self.busy.sort()
+
+
+def _priorities(partition: Partition, model: CostModel) -> dict[str, int]:
+    """Critical-path-to-sink length of every node (higher = schedule first)."""
+    graph = partition.graph
+    prio: dict[str, int] = {}
+    for name in reversed(graph.topological_order()):
+        lat = _latency(model, partition, name)
+        downstream = 0
+        for edge in graph.out_edges(name):
+            downstream = max(downstream,
+                             _edge_delay(model, partition, edge)
+                             + prio[edge.dst])
+        prio[name] = lat + downstream
+    return prio
+
+
+def list_schedule(partition: Partition, model: CostModel) -> Schedule:
+    """Compute a static schedule for a coloured partitioning graph.
+
+    Deterministic: ties between equal-priority ready nodes break on the
+    node name, so repeated runs produce identical schedules (important
+    for reproducible STGs and memory maps downstream).
+    """
+    graph = partition.graph
+    if model.graph is not graph:
+        raise ScheduleError("cost model was built for a different graph")
+
+    prio = _priorities(partition, model)
+    schedule = Schedule(partition)
+    timelines: dict[str, _Timeline] = {}
+    bus = _Timeline()
+
+    def timeline(resource: str) -> _Timeline:
+        if resource not in timelines:
+            timelines[resource] = _Timeline()
+        return timelines[resource]
+
+    remaining_preds = {n: len(graph.in_edges(n)) for n in graph.node_names}
+    ready = [n for n, k in remaining_preds.items() if k == 0]
+
+    while ready:
+        ready.sort(key=lambda n: (-prio[n], n))
+        node = ready.pop(0)
+        resource = partition.resource_of(node)
+        latency = _latency(model, partition, node)
+
+        earliest = 0
+        pending_reads: list[tuple[str, int, int]] = []  # (edge, write_end, read_ticks)
+        for edge in graph.in_edges(node):
+            producer = schedule.entry(edge.src)
+            if partition.resource_of(edge.src) == resource:
+                earliest = max(earliest, producer.end)
+                continue
+            # cut edge: write burst after the producer finished ...
+            write_ticks = model.write_ticks(edge)
+            write_start = bus.earliest_slot(producer.end, write_ticks)
+            bus.reserve(write_start, write_ticks)
+            schedule.add_transfer(TransferEntry(
+                edge.name, "write", write_start, write_start + write_ticks))
+            # ... then a read burst for this consumer
+            pending_reads.append((edge.name, write_start + write_ticks,
+                                  model.read_ticks(edge)))
+
+        for edge_name, write_end, read_ticks in pending_reads:
+            read_start = bus.earliest_slot(write_end, read_ticks)
+            bus.reserve(read_start, read_ticks)
+            schedule.add_transfer(TransferEntry(
+                edge_name, "read", read_start, read_start + read_ticks))
+            earliest = max(earliest, read_start + read_ticks)
+
+        line = timeline(resource)
+        start = line.earliest_slot(earliest, latency)
+        line.reserve(start, latency)
+        schedule.add(ScheduleEntry(node, resource, start, start + latency))
+
+        for edge in graph.out_edges(node):
+            remaining_preds[edge.dst] -= 1
+            if remaining_preds[edge.dst] == 0:
+                ready.append(edge.dst)
+
+    if len(schedule.entries) != len(graph.node_names):
+        missing = set(graph.node_names) - set(schedule.entries)
+        raise ScheduleError(f"unschedulable nodes (cycle?): {sorted(missing)}")
+    return schedule

@@ -1,0 +1,101 @@
+"""Schedule validation.
+
+Checks every invariant the co-synthesis step relies on: completeness,
+per-unit mutual exclusion, single-bus exclusion, and data-dependence
+ordering including the write -> read protocol on cut edges.
+"""
+
+from __future__ import annotations
+
+from ..graph.partition import Partition
+from .schedule import Schedule
+
+__all__ = ["validate_schedule", "check_schedule"]
+
+
+def _overlaps(intervals: list[tuple[int, int, str]]) -> list[str]:
+    problems = []
+    ordered = sorted(intervals)
+    for (s1, e1, a), (s2, e2, b) in zip(ordered, ordered[1:]):
+        if s2 < e1:
+            problems.append(f"{a} [{s1},{e1}) overlaps {b} [{s2},{e2})")
+    return problems
+
+
+def validate_schedule(schedule: Schedule) -> list[str]:
+    """Return all schedule violations; empty list means valid."""
+    partition: Partition = schedule.partition
+    graph = partition.graph
+    problems: list[str] = []
+
+    # completeness
+    missing = set(graph.node_names) - set(schedule.entries)
+    if missing:
+        problems.append(f"unscheduled nodes: {sorted(missing)}")
+        return problems
+
+    # mapping consistency
+    for entry in schedule.entries.values():
+        if partition.resource_of(entry.node) != entry.resource:
+            problems.append(
+                f"node {entry.node!r} scheduled on {entry.resource!r} but "
+                f"coloured {partition.resource_of(entry.node)!r}")
+
+    # per-resource mutual exclusion
+    for resource in partition.resources_used:
+        slots = [(e.start, e.end, e.node) for e in schedule.on_resource(resource)]
+        for problem in _overlaps(slots):
+            problems.append(f"resource {resource!r}: {problem}")
+
+    # single-bus exclusion
+    bus_slots = [(t.start, t.end, f"{t.direction} {t.edge}")
+                 for t in schedule.transfers]
+    for problem in _overlaps(bus_slots):
+        problems.append(f"bus: {problem}")
+
+    # dependence + transfer protocol
+    for edge in graph.edges:
+        producer = schedule.entries[edge.src]
+        consumer = schedule.entries[edge.dst]
+        if partition.resource_of(edge.src) == partition.resource_of(edge.dst):
+            if consumer.start < producer.end:
+                problems.append(
+                    f"edge {edge.name}: consumer starts at {consumer.start} "
+                    f"before producer ends at {producer.end}")
+            continue
+        writes = [t for t in schedule.transfers_of(edge) if t.direction == "write"]
+        reads = [t for t in schedule.transfers_of(edge) if t.direction == "read"]
+        if len(writes) != 1 or len(reads) != 1:
+            problems.append(
+                f"cut edge {edge.name}: expected 1 write + 1 read transfer, "
+                f"got {len(writes)} + {len(reads)}")
+            continue
+        write, read = writes[0], reads[0]
+        if write.start < producer.end:
+            problems.append(
+                f"edge {edge.name}: write starts at {write.start} before "
+                f"producer ends at {producer.end}")
+        if read.start < write.end:
+            problems.append(
+                f"edge {edge.name}: read starts at {read.start} before "
+                f"write ends at {write.end}")
+        if consumer.start < read.end:
+            problems.append(
+                f"edge {edge.name}: consumer starts at {consumer.start} "
+                f"before read ends at {read.end}")
+
+    # local edges must not have transfers
+    for edge in partition.local_edges():
+        if schedule.transfers_of(edge):
+            problems.append(f"local edge {edge.name} has bus transfers")
+
+    return problems
+
+
+def check_schedule(schedule: Schedule) -> None:
+    """Raise :class:`ScheduleError` with the full report when invalid."""
+    from .schedule import ScheduleError
+    problems = validate_schedule(schedule)
+    if problems:
+        details = "\n  - ".join(problems)
+        raise ScheduleError(f"invalid schedule:\n  - {details}")

@@ -1,0 +1,9 @@
+"""Co-simulation: bus, memory, unit models and the full-system driver."""
+
+from .bus import BusModel, BusRequest
+from .memory import MemoryModel
+from .units import SimError, UnitSim
+from .system import CoSimulation, SimResult
+
+__all__ = ["BusModel", "BusRequest", "MemoryModel", "SimError", "UnitSim",
+           "CoSimulation", "SimResult"]

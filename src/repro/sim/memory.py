@@ -1,0 +1,51 @@
+"""Shared-memory model for co-simulation.
+
+Word-addressable storage matching the board's memory card.  Tracks which
+edge cells have been written (the data-valid condition the bus model
+enforces before granting reads) and records access counts for the
+simulation statistics.
+"""
+
+from __future__ import annotations
+
+from ..platform.memory import MemoryDevice
+from ..stg.memory import MemoryMap
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Simulated shared RAM with a co-synthesis memory map."""
+
+    def __init__(self, device: MemoryDevice, memory_map: MemoryMap) -> None:
+        self.device = device
+        self.memory_map = memory_map
+        self.words: dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def write_cell(self, edge_name: str, values: list[int]) -> None:
+        """Store an edge payload into its allocated cells."""
+        cell = self.memory_map.cell(edge_name)
+        if len(values) > cell.words:
+            raise ValueError(f"edge {edge_name}: {len(values)} words exceed "
+                             f"cell of {cell.words}")
+        for offset, value in enumerate(values):
+            address = cell.address + offset
+            if not self.device.contains(address):
+                raise ValueError(f"address 0x{address:04X} outside device")
+            self.words[address] = value
+            self.writes += 1
+
+    def read_cell(self, edge_name: str, n_words: int) -> list[int]:
+        """Load an edge payload from its cells."""
+        cell = self.memory_map.cell(edge_name)
+        values = []
+        for offset in range(n_words):
+            values.append(self.words.get(cell.address + offset, 0))
+            self.reads += 1
+        return values
+
+    def stats(self) -> dict:
+        return {"reads": self.reads, "writes": self.writes,
+                "words_touched": len(self.words)}

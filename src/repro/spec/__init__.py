@@ -1,0 +1,17 @@
+"""The COOL specification language: a VHDL subset for data-flow systems."""
+
+from .errors import SpecError, SpecSemanticError, SpecSyntaxError
+from .tokens import Token, TokenKind
+from .lexer import tokenize
+from .ast import (ArchitectureDecl, AssignStmt, EntityDecl, GenericAssoc,
+                  PortDecl, ProcessStmt, SignalDecl, Spec, VectorType)
+from .parser import parse
+from .elaborate import elaborate, elaborate_text
+from .printer import graph_to_spec
+
+__all__ = [
+    "SpecError", "SpecSemanticError", "SpecSyntaxError", "Token", "TokenKind",
+    "tokenize", "ArchitectureDecl", "AssignStmt", "EntityDecl", "GenericAssoc",
+    "PortDecl", "ProcessStmt", "SignalDecl", "Spec", "VectorType", "parse",
+    "elaborate", "elaborate_text", "graph_to_spec",
+]

@@ -1,0 +1,155 @@
+"""Abstract syntax tree of the COOL specification language.
+
+A specification is a list of design units.  The subset we implement is
+exactly what COOL needs for data-flow dominated systems:
+
+* ``entity`` declarations with a ``port`` clause of ``word_vector(W, N)``
+  ports (W = bit width, N = words per activation);
+* one ``architecture`` per entity containing ``signal`` declarations,
+  labelled ``process`` statements (one per task-graph node) and plain
+  concurrent assignments that wire signals to output ports.
+
+Generic values may be integers, or (nested) tuples of integers -- enough
+for FIR tap lists and fuzzy membership triangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ArchitectureDecl", "AssignStmt", "EntityDecl", "GenericAssoc",
+    "PortDecl", "ProcessStmt", "SignalDecl", "Spec", "VectorType",
+]
+
+#: Generic values: int or arbitrarily nested tuples of ints.
+GenericValue = int | tuple
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """``word_vector(width, words)``: the only data type of the subset."""
+
+    width: int
+    words: int
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """One entity port: ``name : in|out word_vector(w, n)``."""
+
+    name: str
+    direction: str  # "in" | "out"
+    vtype: VectorType
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class EntityDecl:
+    """``entity NAME is port (...); end entity NAME;``"""
+
+    name: str
+    ports: tuple[PortDecl, ...]
+    line: int = 0
+
+    def port(self, name: str) -> PortDecl | None:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        return None
+
+
+@dataclass(frozen=True)
+class SignalDecl:
+    """``signal a, b : word_vector(w, n);``"""
+
+    names: tuple[str, ...]
+    vtype: VectorType
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GenericAssoc:
+    """One generic association ``name => value``."""
+
+    name: str
+    value: GenericValue
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProcessStmt:
+    """A labelled node process.
+
+    Concrete syntax::
+
+        band0 : process (x)
+          generic map (taps => (1, 2, 3, 2, 1), shift => 2);
+        begin
+          b0 <= fir(x);
+        end process;
+
+    ``label`` names the task-graph node, ``kind`` is the function name on
+    the right-hand side, ``inputs`` the ordered argument signals,
+    ``target`` the driven signal, ``generics`` the parameters.
+    The sensitivity list must equal the argument list (checked during
+    elaboration, like a VHDL linter would).
+    """
+
+    label: str
+    sensitivity: tuple[str, ...]
+    kind: str
+    inputs: tuple[str, ...]
+    target: str
+    generics: tuple[GenericAssoc, ...] = ()
+    line: int = 0
+
+    def generic_dict(self) -> dict:
+        return {g.name: g.value for g in self.generics}
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """Concurrent assignment wiring a signal to an output port: ``y <= g;``"""
+
+    target: str
+    source: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArchitectureDecl:
+    """``architecture NAME of ENTITY is ... begin ... end architecture;``"""
+
+    name: str
+    entity: str
+    signals: tuple[SignalDecl, ...]
+    processes: tuple[ProcessStmt, ...]
+    assigns: tuple[AssignStmt, ...]
+    line: int = 0
+
+    def signal_type(self, name: str) -> VectorType | None:
+        for decl in self.signals:
+            if name in decl.names:
+                return decl.vtype
+        return None
+
+
+@dataclass
+class Spec:
+    """A parsed specification: entities and architectures by name."""
+
+    entities: list[EntityDecl] = field(default_factory=list)
+    architectures: list[ArchitectureDecl] = field(default_factory=list)
+
+    def entity(self, name: str) -> EntityDecl | None:
+        for e in self.entities:
+            if e.name == name:
+                return e
+        return None
+
+    def architecture_of(self, entity_name: str) -> ArchitectureDecl | None:
+        for a in self.architectures:
+            if a.entity == entity_name:
+                return a
+        return None

@@ -1,0 +1,165 @@
+"""Elaboration: from a parsed specification to an executable task graph.
+
+Performs the semantic checks a VHDL front end would (single driver per
+signal, declared-before-use, sensitivity list consistency, port/type
+agreement) and produces the :class:`repro.graph.TaskGraph` that the rest
+of the COOL flow consumes.
+"""
+
+from __future__ import annotations
+
+from ..graph.taskgraph import TaskGraph, make_node
+from ..graph.validate import check_graph
+from .ast import ArchitectureDecl, EntityDecl, Spec, VectorType
+from .errors import SpecSemanticError
+
+__all__ = ["elaborate", "elaborate_text"]
+
+
+def _to_params(generics: dict) -> dict:
+    """Map the VHDL-ish generic names onto node parameter names."""
+    return dict(generics)
+
+
+def elaborate(spec: Spec, entity_name: str | None = None) -> TaskGraph:
+    """Build the task graph of ``entity_name`` (or the single entity).
+
+    Raises :class:`SpecSemanticError` for inconsistent specifications and
+    propagates graph validation problems (unknown kinds, arity
+    mismatches) as :class:`repro.graph.GraphError`.
+    """
+    if entity_name is None:
+        if len(spec.entities) != 1:
+            names = [e.name for e in spec.entities]
+            raise SpecSemanticError(
+                f"specification has {len(spec.entities)} entities {names}; "
+                f"pass entity_name to choose one")
+        entity = spec.entities[0]
+    else:
+        found = spec.entity(entity_name)
+        if found is None:
+            raise SpecSemanticError(f"unknown entity {entity_name!r}")
+        entity = found
+
+    arch = spec.architecture_of(entity.name)
+    if arch is None:
+        raise SpecSemanticError(f"entity {entity.name!r} has no architecture")
+
+    return _elaborate_architecture(entity, arch)
+
+
+def _elaborate_architecture(entity: EntityDecl,
+                            arch: ArchitectureDecl) -> TaskGraph:
+    graph = TaskGraph(entity.name)
+
+    # name -> type for every value carrier (ports and local signals)
+    carriers: dict[str, VectorType] = {}
+    for port in entity.ports:
+        carriers[port.name] = port.vtype
+    for decl in arch.signals:
+        for name in decl.names:
+            if name in carriers:
+                raise SpecSemanticError(
+                    f"signal {name!r} shadows a port or earlier signal",
+                    decl.line)
+            carriers[name] = decl.vtype
+
+    # producer of every carrier: input ports produce themselves; local
+    # signals must be driven by exactly one process.
+    producer: dict[str, str] = {}
+
+    for port in entity.ports:
+        vtype = port.vtype
+        if port.direction == "in":
+            graph.add_node(make_node(port.name, "input",
+                                     width=vtype.width, words=vtype.words))
+            producer[port.name] = port.name
+        else:
+            graph.add_node(make_node(port.name, "output",
+                                     width=vtype.width, words=vtype.words))
+
+    # node creation pass
+    for proc in arch.processes:
+        target_type = carriers.get(proc.target)
+        if target_type is None:
+            raise SpecSemanticError(
+                f"process {proc.label!r} drives undeclared signal "
+                f"{proc.target!r}", proc.line)
+        out_port = entity.port(proc.target)
+        if out_port is not None:
+            raise SpecSemanticError(
+                f"process {proc.label!r} drives port {proc.target!r} directly; "
+                f"drive a signal and assign it to the port", proc.line)
+        if proc.target in producer:
+            raise SpecSemanticError(
+                f"signal {proc.target!r} has multiple drivers "
+                f"({producer[proc.target]!r} and {proc.label!r})", proc.line)
+        if set(proc.sensitivity) != set(proc.inputs):
+            raise SpecSemanticError(
+                f"process {proc.label!r}: sensitivity list "
+                f"{sorted(proc.sensitivity)} does not match inputs "
+                f"{sorted(proc.inputs)}", proc.line)
+        if proc.label in graph:
+            raise SpecSemanticError(
+                f"duplicate process label {proc.label!r}", proc.line)
+        if proc.label in carriers and proc.label != proc.target:
+            # labels live in the same namespace as signals in our subset
+            raise SpecSemanticError(
+                f"process label {proc.label!r} collides with a signal name",
+                proc.line)
+        graph.add_node(make_node(proc.label, proc.kind,
+                                 _to_params(proc.generic_dict()),
+                                 width=target_type.width,
+                                 words=target_type.words))
+        producer[proc.target] = proc.label
+
+    # edge creation pass (after all producers are known)
+    for proc in arch.processes:
+        for port_index, signal in enumerate(proc.inputs):
+            if signal not in carriers:
+                raise SpecSemanticError(
+                    f"process {proc.label!r} reads undeclared signal "
+                    f"{signal!r}", proc.line)
+            if signal not in producer:
+                raise SpecSemanticError(
+                    f"process {proc.label!r} reads undriven signal "
+                    f"{signal!r}", proc.line)
+            graph.add_edge(producer[signal], proc.label, dst_port=port_index)
+
+    # output port wiring
+    driven_ports: set[str] = set()
+    for assign in arch.assigns:
+        port = entity.port(assign.target)
+        if port is None or port.direction != "out":
+            raise SpecSemanticError(
+                f"assignment target {assign.target!r} is not an output port",
+                assign.line)
+        if assign.target in driven_ports:
+            raise SpecSemanticError(
+                f"output port {assign.target!r} assigned twice", assign.line)
+        if assign.source not in producer:
+            raise SpecSemanticError(
+                f"assignment to {assign.target!r} reads undriven signal "
+                f"{assign.source!r}", assign.line)
+        src_type = carriers[assign.source]
+        dst_type = carriers[assign.target]
+        if src_type != dst_type:
+            raise SpecSemanticError(
+                f"type mismatch assigning {assign.source!r} "
+                f"({src_type.words}x{src_type.width}b) to {assign.target!r} "
+                f"({dst_type.words}x{dst_type.width}b)", assign.line)
+        graph.add_edge(producer[assign.source], assign.target, dst_port=0)
+        driven_ports.add(assign.target)
+
+    for port in entity.ports:
+        if port.direction == "out" and port.name not in driven_ports:
+            raise SpecSemanticError(f"output port {port.name!r} is never driven")
+
+    check_graph(graph)
+    return graph
+
+
+def elaborate_text(text: str, entity_name: str | None = None) -> TaskGraph:
+    """Parse and elaborate in one step."""
+    from .parser import parse
+    return elaborate(parse(text), entity_name)

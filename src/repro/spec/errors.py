@@ -1,0 +1,33 @@
+"""Diagnostics for the COOL specification language."""
+
+from __future__ import annotations
+
+__all__ = ["SpecError", "SpecSyntaxError", "SpecSemanticError"]
+
+
+class SpecError(ValueError):
+    """Base class for all specification-language diagnostics.
+
+    Carries an optional source location so the message reads like a
+    compiler diagnostic: ``file:line:col: message``.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", col {column}"
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class SpecSyntaxError(SpecError):
+    """Lexical or grammatical problem in the specification text."""
+
+
+class SpecSemanticError(SpecError):
+    """The text parses but does not describe a consistent system."""

@@ -1,0 +1,98 @@
+"""Lexer for the COOL specification language.
+
+The language is a small VHDL subset: identifiers and keywords are case
+insensitive (normalized to lower case, as VHDL tools do), ``--`` starts a
+comment running to end of line, and the only multi-character operators
+are ``<=`` (signal assignment) and ``=>`` (generic association).
+"""
+
+from __future__ import annotations
+
+from .errors import SpecSyntaxError
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn specification text into a token list ending with EOF.
+
+    Raises :class:`SpecSyntaxError` on characters outside the language.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance()
+            continue
+        # comment: -- to end of line
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, column
+        # identifiers / keywords (VHDL: case-insensitive, may contain _)
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j].lower()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, start_line, start_col))
+            advance(j - i)
+            continue
+        # integers
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.INTEGER, text[i:j],
+                                start_line, start_col))
+            advance(j - i)
+            continue
+        # multi-char operators
+        if ch == "<" and i + 1 < n and text[i + 1] == "=":
+            tokens.append(Token(TokenKind.ASSIGN, "<=", start_line, start_col))
+            advance(2)
+            continue
+        if ch == "=" and i + 1 < n and text[i + 1] == ">":
+            tokens.append(Token(TokenKind.ARROW, "=>", start_line, start_col))
+            advance(2)
+            continue
+        if ch == "-":
+            tokens.append(Token(TokenKind.MINUS, "-", start_line, start_col))
+            advance()
+            continue
+        if ch == ":":
+            tokens.append(Token(TokenKind.COLON, ":", start_line, start_col))
+            advance()
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, start_line, start_col))
+            advance()
+            continue
+        raise SpecSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

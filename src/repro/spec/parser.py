@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the COOL specification language.
+
+Grammar (EBNF, case-insensitive keywords)::
+
+    spec          ::= { entity_decl | architecture_decl }
+    entity_decl   ::= "entity" IDENT "is"
+                        "port" "(" port { ";" port } ")" ";"
+                      "end" [ "entity" ] [ IDENT ] ";"
+    port          ::= IDENT ":" ( "in" | "out" ) vtype
+    vtype         ::= "word_vector" "(" INTEGER "," INTEGER ")"
+    architecture  ::= "architecture" IDENT "of" IDENT "is"
+                        { signal_decl }
+                      "begin"
+                        { process_stmt | assign_stmt }
+                      "end" [ "architecture" ] [ IDENT ] ";"
+    signal_decl   ::= "signal" IDENT { "," IDENT } ":" vtype ";"
+    process_stmt  ::= IDENT ":" "process" "(" id_list ")"
+                        [ "generic" [ "map" ] "(" gassoc { "," gassoc } ")" ";" ]
+                      "begin"
+                        IDENT "<=" IDENT "(" [ id_list ] ")" ";"
+                      "end" "process" ";"
+    assign_stmt   ::= IDENT "<=" IDENT ";"
+    gassoc        ::= IDENT "=>" gvalue
+    gvalue        ::= [ "-" ] INTEGER | "(" gvalue { "," gvalue } ")"
+    id_list       ::= IDENT { "," IDENT }
+"""
+
+from __future__ import annotations
+
+from .ast import (ArchitectureDecl, AssignStmt, EntityDecl, GenericAssoc,
+                  PortDecl, ProcessStmt, SignalDecl, Spec, VectorType)
+from .errors import SpecSyntaxError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SpecSyntaxError:
+        token = self._cur
+        got = token.text or "<eof>"
+        return SpecSyntaxError(f"{message}, got {got!r}", token.line, token.column)
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        if self._cur.kind != kind:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._cur.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._cur.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _ident(self, what: str = "identifier") -> Token:
+        return self._expect(TokenKind.IDENT, what)
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_spec(self) -> Spec:
+        spec = Spec()
+        while self._cur.kind != TokenKind.EOF:
+            if self._cur.is_keyword("entity"):
+                spec.entities.append(self._entity())
+            elif self._cur.is_keyword("architecture"):
+                spec.architectures.append(self._architecture())
+            else:
+                raise self._error("expected 'entity' or 'architecture'")
+        return spec
+
+    def _vtype(self) -> VectorType:
+        self._expect_keyword("word_vector")
+        self._expect(TokenKind.LPAREN, "'('")
+        width = self._expect(TokenKind.INTEGER, "bit width").value
+        self._expect(TokenKind.COMMA, "','")
+        words = self._expect(TokenKind.INTEGER, "word count").value
+        self._expect(TokenKind.RPAREN, "')'")
+        if width <= 0 or words <= 0:
+            raise self._error("word_vector dimensions must be positive")
+        return VectorType(width, words)
+
+    def _entity(self) -> EntityDecl:
+        start = self._expect_keyword("entity")
+        name = self._ident("entity name").text
+        self._expect_keyword("is")
+        self._expect_keyword("port")
+        self._expect(TokenKind.LPAREN, "'('")
+        ports = [self._port()]
+        while self._cur.kind == TokenKind.SEMICOLON:
+            self._advance()
+            ports.append(self._port())
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        self._expect_keyword("end")
+        self._accept_keyword("entity")
+        if self._cur.kind == TokenKind.IDENT:
+            closing = self._advance().text
+            if closing != name:
+                raise SpecSyntaxError(
+                    f"entity {name!r} closed with name {closing!r}",
+                    start.line, start.column)
+        self._expect(TokenKind.SEMICOLON, "';'")
+        seen: set[str] = set()
+        for port in ports:
+            if port.name in seen:
+                raise SpecSyntaxError(f"duplicate port {port.name!r} "
+                                      f"in entity {name!r}", port.line)
+            seen.add(port.name)
+        return EntityDecl(name, tuple(ports), start.line)
+
+    def _port(self) -> PortDecl:
+        name_tok = self._ident("port name")
+        self._expect(TokenKind.COLON, "':'")
+        if self._accept_keyword("in"):
+            direction = "in"
+        elif self._accept_keyword("out"):
+            direction = "out"
+        else:
+            raise self._error("expected 'in' or 'out'")
+        vtype = self._vtype()
+        return PortDecl(name_tok.text, direction, vtype, name_tok.line)
+
+    def _architecture(self) -> ArchitectureDecl:
+        start = self._expect_keyword("architecture")
+        name = self._ident("architecture name").text
+        self._expect_keyword("of")
+        entity = self._ident("entity name").text
+        self._expect_keyword("is")
+        signals = []
+        while self._cur.is_keyword("signal"):
+            signals.append(self._signal_decl())
+        self._expect_keyword("begin")
+        processes: list[ProcessStmt] = []
+        assigns: list[AssignStmt] = []
+        while not self._cur.is_keyword("end"):
+            stmt = self._statement()
+            if isinstance(stmt, ProcessStmt):
+                processes.append(stmt)
+            else:
+                assigns.append(stmt)
+        self._expect_keyword("end")
+        self._accept_keyword("architecture")
+        if self._cur.kind == TokenKind.IDENT:
+            closing = self._advance().text
+            if closing != name:
+                raise SpecSyntaxError(
+                    f"architecture {name!r} closed with name {closing!r}",
+                    start.line, start.column)
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ArchitectureDecl(name, entity, tuple(signals),
+                                tuple(processes), tuple(assigns), start.line)
+
+    def _signal_decl(self) -> SignalDecl:
+        start = self._expect_keyword("signal")
+        names = [self._ident("signal name").text]
+        while self._cur.kind == TokenKind.COMMA:
+            self._advance()
+            names.append(self._ident("signal name").text)
+        self._expect(TokenKind.COLON, "':'")
+        vtype = self._vtype()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return SignalDecl(tuple(names), vtype, start.line)
+
+    def _statement(self) -> ProcessStmt | AssignStmt:
+        label_tok = self._ident("statement label or signal name")
+        if self._cur.kind == TokenKind.COLON:
+            self._advance()
+            return self._process(label_tok)
+        # plain concurrent assignment: target <= source ;
+        self._expect(TokenKind.ASSIGN, "'<=' or ':'")
+        source = self._ident("source signal").text
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return AssignStmt(label_tok.text, source, label_tok.line)
+
+    def _process(self, label_tok: Token) -> ProcessStmt:
+        self._expect_keyword("process")
+        self._expect(TokenKind.LPAREN, "'('")
+        sensitivity = self._id_list()
+        self._expect(TokenKind.RPAREN, "')'")
+        generics: tuple[GenericAssoc, ...] = ()
+        if self._accept_keyword("generic"):
+            self._accept_keyword("map")
+            self._expect(TokenKind.LPAREN, "'('")
+            assoc = [self._generic_assoc()]
+            while self._cur.kind == TokenKind.COMMA:
+                self._advance()
+                assoc.append(self._generic_assoc())
+            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            generics = tuple(assoc)
+        self._expect_keyword("begin")
+        target = self._ident("target signal").text
+        self._expect(TokenKind.ASSIGN, "'<='")
+        kind = self._ident("function name").text
+        self._expect(TokenKind.LPAREN, "'('")
+        inputs: tuple[str, ...] = ()
+        if self._cur.kind == TokenKind.IDENT:
+            inputs = self._id_list()
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        self._expect_keyword("end")
+        self._expect_keyword("process")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ProcessStmt(label_tok.text, sensitivity, kind, inputs,
+                           target, generics, label_tok.line)
+
+    def _id_list(self) -> tuple[str, ...]:
+        names = [self._ident().text]
+        while self._cur.kind == TokenKind.COMMA:
+            self._advance()
+            names.append(self._ident().text)
+        return tuple(names)
+
+    def _generic_assoc(self) -> GenericAssoc:
+        name_tok = self._ident("generic name")
+        self._expect(TokenKind.ARROW, "'=>'")
+        value = self._generic_value()
+        return GenericAssoc(name_tok.text, value, name_tok.line)
+
+    def _generic_value(self):
+        if self._cur.kind == TokenKind.MINUS:
+            self._advance()
+            return -self._expect(TokenKind.INTEGER, "integer").value
+        if self._cur.kind == TokenKind.INTEGER:
+            return self._advance().value
+        if self._cur.kind == TokenKind.LPAREN:
+            self._advance()
+            values = [self._generic_value()]
+            while self._cur.kind == TokenKind.COMMA:
+                self._advance()
+                values.append(self._generic_value())
+            self._expect(TokenKind.RPAREN, "')'")
+            return tuple(values)
+        raise self._error("expected integer or '('")
+
+
+def parse(text: str) -> Spec:
+    """Parse specification text into a :class:`repro.spec.ast.Spec`."""
+    return _Parser(tokenize(text)).parse_spec()

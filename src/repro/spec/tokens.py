@@ -1,0 +1,53 @@
+"""Token definitions for the COOL specification language (VHDL subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["Token", "TokenKind", "KEYWORDS"]
+
+
+class TokenKind(Enum):
+    """Lexical token categories."""
+
+    IDENT = auto()
+    INTEGER = auto()
+    KEYWORD = auto()
+    LPAREN = auto()      # (
+    RPAREN = auto()      # )
+    COMMA = auto()       # ,
+    SEMICOLON = auto()   # ;
+    COLON = auto()       # :
+    ASSIGN = auto()      # <=
+    ARROW = auto()       # =>
+    MINUS = auto()       # -
+    EOF = auto()
+
+
+#: Reserved words of the language (VHDL keywords we actually use).
+KEYWORDS = frozenset({
+    "entity", "is", "port", "in", "out", "end", "architecture", "of",
+    "signal", "begin", "process", "generic", "word_vector", "map",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self) -> int:
+        """Integer value; only valid for INTEGER tokens."""
+        return int(self.text)
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,16 @@
+"""State/transition graph co-synthesis: builder, minimizer, memory map."""
+
+from .states import StateKind, Stg, StgError, StgState, StgTransition
+from .builder import build_stg, done_name, exec_name, wait_name
+from .interp import FiredTransition, StgExecutor
+from .minimize import MinimizationReport, minimize_stg
+from .memory import MemoryCell, MemoryError, MemoryMap, allocate_memory
+from .render import memory_map_text, stg_summary_text, stg_to_dot
+
+__all__ = [
+    "StateKind", "Stg", "StgError", "StgState", "StgTransition",
+    "build_stg", "done_name", "exec_name", "wait_name", "FiredTransition",
+    "StgExecutor", "MinimizationReport", "minimize_stg", "MemoryCell",
+    "MemoryError", "MemoryMap", "allocate_memory", "memory_map_text",
+    "stg_summary_text", "stg_to_dot",
+]

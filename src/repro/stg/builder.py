@@ -1,0 +1,125 @@
+"""STG construction from the coloured partitioning graph and schedule.
+
+The construction follows paper Section 2 exactly:
+
+* a WAIT / EXECUTION / DONE state per node of the coloured graph;
+* a RESET state per processing resource (processors, FPGAs and the I/O
+  controller, which is a processing unit of its own);
+* global states R (system reset), X (execution phase) and D (done);
+* edges following the computed schedule (per-resource execution order)
+  and the data dependencies (cross-resource guards).
+
+Shape of the result for a graph with N nodes on M used resources::
+
+    R --reset_*--> r_m  (one per resource, in parallel)
+    r_m --> X          (synchronisation barrier: all units reset)
+    X --> w_v          (first scheduled node of each resource)
+    w_v --[guards]/read_*,start_v--> x_v --[done_v]/write_*--> d_v
+    d_v --> w_u        (schedule successor on the same resource)
+    d_last --> D       (one per resource; D closes the activation)
+
+Guards on ``w -> x`` are the done flags of *cross-resource* data
+predecessors: same-resource predecessors are already serialized by the
+schedule chain, so they need no guard -- which is precisely what makes
+many WAIT states redundant and gives the state minimization of
+:mod:`repro.stg.minimize` its leverage.
+"""
+
+from __future__ import annotations
+
+from ..graph.partition import Partition
+from ..schedule.schedule import Schedule
+from .states import StateKind, Stg, StgError, StgState, StgTransition
+
+__all__ = ["build_stg", "wait_name", "exec_name", "done_name"]
+
+
+def wait_name(node: str) -> str:
+    return f"w_{node}"
+
+
+def exec_name(node: str) -> str:
+    return f"x_{node}"
+
+
+def done_name(node: str) -> str:
+    return f"d_{node}"
+
+
+def _reset_name(resource: str) -> str:
+    return f"r_{resource}"
+
+
+def build_stg(schedule: Schedule) -> Stg:
+    """Build the STG of a scheduled, partitioned task graph."""
+    partition: Partition = schedule.partition
+    graph = partition.graph
+    stg = Stg(f"stg_{graph.name}")
+
+    resources = list(partition.resources_used)
+    if not resources:
+        raise StgError("partition uses no resources")
+
+    # -- states ---------------------------------------------------------
+    stg.add_state(StgState("R", StateKind.GLOBAL_RESET))
+    stg.add_state(StgState("X", StateKind.GLOBAL_EXEC))
+    stg.add_state(StgState("D", StateKind.GLOBAL_DONE))
+    stg.initial = "R"
+
+    for resource in resources:
+        stg.add_state(StgState(_reset_name(resource), StateKind.RESET,
+                               resource=resource))
+
+    for node in graph.nodes:
+        resource = partition.resource_of(node.name)
+        stg.add_state(StgState(wait_name(node.name), StateKind.WAIT,
+                               node=node.name, resource=resource))
+        stg.add_state(StgState(exec_name(node.name), StateKind.EXEC,
+                               node=node.name, resource=resource))
+        stg.add_state(StgState(done_name(node.name), StateKind.DONE,
+                               node=node.name, resource=resource))
+
+    # -- global reset fan-out and execution barrier ----------------------
+    for resource in resources:
+        stg.add_transition(StgTransition(
+            "R", _reset_name(resource), actions=(f"reset_{resource}",)))
+        stg.add_transition(StgTransition(_reset_name(resource), "X"))
+
+    # -- per-resource schedule chains ------------------------------------
+    for resource in resources:
+        order = [entry.node for entry in schedule.on_resource(resource)]
+        if not order:
+            continue
+        stg.add_transition(StgTransition("X", wait_name(order[0])))
+        for prev, nxt in zip(order, order[1:]):
+            stg.add_transition(StgTransition(done_name(prev), wait_name(nxt)))
+        stg.add_transition(StgTransition(done_name(order[-1]), "D"))
+
+    # -- node micro-cycles with guards, reads, starts and writes ---------
+    for node in graph.nodes:
+        name = node.name
+        resource = partition.resource_of(name)
+
+        guards = []
+        reads = []
+        for edge in graph.in_edges(name):
+            if partition.resource_of(edge.src) != resource:
+                guards.append(f"done_{edge.src}")
+                reads.append(f"read_{edge.name}")
+        stg.add_transition(StgTransition(
+            wait_name(name), exec_name(name),
+            conditions=tuple(guards),
+            actions=tuple(reads) + (f"start_{name}",)))
+
+        writes = [f"write_{edge.name}" for edge in graph.out_edges(name)
+                  if partition.resource_of(edge.dst) != resource]
+        stg.add_transition(StgTransition(
+            exec_name(name), done_name(name),
+            conditions=(f"done_{name}",),
+            actions=tuple(writes)))
+
+    problems = stg.validate()
+    if problems:
+        raise StgError("built an inconsistent STG:\n  - "
+                       + "\n  - ".join(problems))
+    return stg

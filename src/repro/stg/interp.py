@@ -1,0 +1,139 @@
+"""Token-based execution semantics of STGs.
+
+The STG is concurrent: the global reset state forks into one chain per
+processing unit, X and D are synchronisation barriers.  The executor
+implements marked-graph semantics:
+
+* a state *activates* once all its incoming transitions have fired
+  (the initial state starts active);
+* an active state's outgoing transition fires as soon as its condition
+  signals are all asserted (conditions are *latched*: once a signal was
+  seen asserted during the activation it stays usable, modelling the
+  controller's done-flag registers);
+* firing emits the transition's actions;
+* the activation completes when the GLOBAL_DONE state activates.
+
+This executor has two jobs: it is the reference semantics against which
+state minimization is verified (identical action traces for identical
+signal traces), and it *is* the system-controller model that steers the
+co-simulation (:mod:`repro.sim`), exactly the role the synthesized
+controller plays on the board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .states import StateKind, Stg, StgError
+
+__all__ = ["StgExecutor", "FiredTransition"]
+
+
+@dataclass(frozen=True)
+class FiredTransition:
+    """Record of one transition firing (for traces and tests)."""
+
+    step: int
+    src: str
+    dst: str
+    actions: tuple[str, ...]
+
+
+@dataclass
+class StgExecutor:
+    """Stepwise interpreter of one STG activation."""
+
+    stg: Stg
+    latched: set[str] = field(default_factory=set)
+    active: set[str] = field(default_factory=set)
+    fired_in: dict[str, int] = field(default_factory=dict)
+    fired_out: dict[str, int] = field(default_factory=dict)
+    trace: list[FiredTransition] = field(default_factory=list)
+    step_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stg.initial is None:
+            raise StgError("STG has no initial state")
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Start a fresh activation."""
+        self.latched = set()
+        self.active = {self.stg.initial}
+        self.fired_in = {s.name: 0 for s in self.stg.states}
+        self.fired_out = {s.name: 0 for s in self.stg.states}
+        self.trace = []
+        self.step_count = 0
+
+    @property
+    def done(self) -> bool:
+        """True once the GLOBAL_DONE state has activated."""
+        done_states = self.stg.states_of_kind(StateKind.GLOBAL_DONE)
+        return any(s.name in self.active for s in done_states)
+
+    # ------------------------------------------------------------------
+    def step(self, signals: set[str] | None = None) -> list[str]:
+        """Latch ``signals``, fire every enabled transition, return actions.
+
+        Fires transitions to a fixed point within the step, so an
+        unguarded chain collapses into one step -- matching a controller
+        that traverses action states in consecutive clock cycles faster
+        than the units it observes.
+        """
+        if signals:
+            self.latched.update(signals)
+        self.step_count += 1
+        emitted: list[str] = []
+        progress = True
+        while progress:
+            progress = False
+            for state_name in sorted(self.active):
+                for transition in self.stg.out_transitions(state_name):
+                    if self._already_fired(transition):
+                        continue
+                    if not set(transition.conditions) <= self.latched:
+                        continue
+                    self._fire(transition)
+                    emitted.extend(transition.actions)
+                    progress = True
+        return emitted
+
+    def run(self, signal_schedule: list[set[str]],
+            max_extra_steps: int = 1000) -> list[str]:
+        """Feed a signal trace, then run until done; returns all actions."""
+        actions: list[str] = []
+        for signals in signal_schedule:
+            actions.extend(self.step(signals))
+        extra = 0
+        while not self.done and extra < max_extra_steps:
+            before = len(self.trace)
+            actions.extend(self.step())
+            extra += 1
+            if len(self.trace) == before:
+                break  # no progress without new signals
+        return actions
+
+    # ------------------------------------------------------------------
+    def _already_fired(self, transition) -> bool:
+        return any(f.src == transition.src and f.dst == transition.dst
+                   and f.actions == transition.actions
+                   for f in self.trace)
+
+    def _fire(self, transition) -> None:
+        self.trace.append(FiredTransition(self.step_count, transition.src,
+                                          transition.dst, transition.actions))
+        self.fired_out[transition.src] += 1
+        self.fired_in[transition.dst] += 1
+        # source deactivates when all its out-transitions fired
+        if self.fired_out[transition.src] == \
+                len(self.stg.out_transitions(transition.src)):
+            self.active.discard(transition.src)
+        # destination activates when all its in-transitions fired
+        if self.fired_in[transition.dst] == \
+                len(self.stg.in_transitions(transition.dst)):
+            self.active.add(transition.dst)
+
+    def action_trace(self) -> list[tuple[str, ...]]:
+        """Per-firing action tuples, in firing order (minimization oracle)."""
+        return [f.actions for f in self.trace if f.actions]

@@ -1,0 +1,187 @@
+"""Memory-cell allocation for inter-unit data transfers (paper Fig. 3).
+
+"[...] memory cells are allocated (starting from a base address) for
+each edge representing a data transfer between different processing
+units."
+
+Every cut edge of the partition receives a block of consecutive memory
+words in the shared RAM.  Two allocators:
+
+* :func:`allocate_memory` with ``reuse=True`` (default) performs
+  lifetime analysis on the static schedule -- a cell lives from the
+  start of its write burst to the end of its read burst -- and packs
+  blocks first-fit so cells with disjoint lifetimes share addresses;
+* ``reuse=False`` is the naive allocator that lays all blocks out
+  consecutively (the paper's base construction, and the baseline of the
+  memory-ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..partition.feasibility import edge_memory_words
+from ..platform.architecture import TargetArchitecture
+from ..schedule.schedule import Schedule, ScheduleError
+
+__all__ = ["MemoryCell", "MemoryMap", "MemoryError", "allocate_memory"]
+
+
+class MemoryError(ScheduleError):
+    """Raised when transfers do not fit the shared memory."""
+
+
+@dataclass(frozen=True)
+class MemoryCell:
+    """One allocated block: ``words`` cells at ``address`` for ``edge``.
+
+    ``live_from`` / ``live_until`` are the schedule ticks during which
+    the block holds live data (write start to last read end).
+    """
+
+    edge: str
+    address: int
+    words: int
+    live_from: int
+    live_until: int
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.words
+
+    def overlaps_in_time(self, other: "MemoryCell") -> bool:
+        return not (self.live_until <= other.live_from
+                    or other.live_until <= self.live_from)
+
+    def overlaps_in_space(self, other: "MemoryCell") -> bool:
+        return not (self.end_address <= other.address
+                    or other.end_address <= self.address)
+
+
+@dataclass
+class MemoryMap:
+    """The complete allocation of a partitioned, scheduled system."""
+
+    device: str
+    base_address: int
+    cells: dict[str, MemoryCell]
+    reuse: bool
+
+    def cell(self, edge_name: str) -> MemoryCell:
+        try:
+            return self.cells[edge_name]
+        except KeyError:
+            raise MemoryError(f"no memory cell for edge {edge_name!r}") \
+                from None
+
+    @property
+    def words_used(self) -> int:
+        """Footprint: highest occupied offset relative to the base."""
+        if not self.cells:
+            return 0
+        return max(c.end_address for c in self.cells.values()) \
+            - self.base_address
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.words_used
+
+    def validate(self) -> list[str]:
+        """No two cells may overlap in both space and lifetime."""
+        problems = []
+        cells = list(self.cells.values())
+        for i, a in enumerate(cells):
+            if a.address < self.base_address:
+                problems.append(f"cell {a.edge} below base address")
+            for b in cells[i + 1:]:
+                if a.overlaps_in_space(b) and a.overlaps_in_time(b):
+                    problems.append(
+                        f"cells {a.edge} and {b.edge} collide "
+                        f"(addresses {a.address}+{a.words} / "
+                        f"{b.address}+{b.words})")
+        return problems
+
+    def table(self) -> list[dict]:
+        """Rows for reports: edge, address, words, lifetime."""
+        rows = []
+        for cell in sorted(self.cells.values(),
+                           key=lambda c: (c.address, c.edge)):
+            rows.append({
+                "edge": cell.edge,
+                "address": f"0x{cell.address:04X}",
+                "words": cell.words,
+                "live": (cell.live_from, cell.live_until),
+            })
+        return rows
+
+
+def _lifetime(schedule: Schedule, edge) -> tuple[int, int]:
+    """Cell lifetime: write-burst start to *consumer completion*.
+
+    The static schedule may place the read burst long before the
+    consumer actually executes (gap filling on the bus), but the
+    synthesized system controller issues the read when the consumer's
+    WAIT state exits (STG semantics).  The cell therefore stays live
+    until the consumer node finishes -- the conservative bound that
+    keeps reuse safe in the self-timed implementation.
+    """
+    transfers = schedule.transfers_of(edge)
+    writes = [t for t in transfers if t.direction == "write"]
+    reads = [t for t in transfers if t.direction == "read"]
+    if not writes or not reads:
+        raise MemoryError(
+            f"cut edge {edge.name} has no scheduled write+read transfers")
+    consumer_end = schedule.entry(edge.dst).end
+    return (min(t.start for t in writes),
+            max(max(t.end for t in reads), consumer_end))
+
+
+def allocate_memory(schedule: Schedule, arch: TargetArchitecture,
+                    reuse: bool = True, edges=None) -> MemoryMap:
+    """Allocate shared-memory cells for cut edges of the schedule.
+
+    ``edges`` restricts the allocation to a subset of the cut edges
+    (communication refinement excludes channels implemented as direct
+    point-to-point links); the default allocates for every cut edge.
+    """
+    partition = schedule.partition
+    base = arch.memory.base_address
+    cells: dict[str, MemoryCell] = {}
+
+    pool = list(partition.cut_edges()) if edges is None else list(edges)
+    # deterministic order: by lifetime start, then edge name
+    cut = sorted(pool, key=lambda e: (_lifetime(schedule, e)[0], e.name))
+
+    next_free = base
+    placed: list[MemoryCell] = []
+    for edge in cut:
+        words = edge_memory_words(edge, arch)
+        live_from, live_until = _lifetime(schedule, edge)
+        if not reuse:
+            address = next_free
+            next_free += words
+        else:
+            address = base
+            while True:
+                candidate = MemoryCell(edge.name, address, words,
+                                       live_from, live_until)
+                clash = next((c for c in placed
+                              if c.overlaps_in_space(candidate)
+                              and c.overlaps_in_time(candidate)), None)
+                if clash is None:
+                    break
+                address = clash.end_address
+        cell = MemoryCell(edge.name, address, words, live_from, live_until)
+        cells[edge.name] = cell
+        placed.append(cell)
+
+    memory_map = MemoryMap(arch.memory.name, base, cells, reuse)
+    if memory_map.end_address > arch.memory.end_address:
+        raise MemoryError(
+            f"allocation needs {memory_map.words_used} words, device "
+            f"{arch.memory.name!r} offers {arch.memory.words}")
+    problems = memory_map.validate()
+    if problems:
+        raise MemoryError("inconsistent allocation:\n  - "
+                          + "\n  - ".join(problems))
+    return memory_map

@@ -1,0 +1,62 @@
+"""Rendering of STGs and memory maps (paper Fig. 3 artefacts)."""
+
+from __future__ import annotations
+
+from .memory import MemoryMap
+from .states import StateKind, Stg
+
+__all__ = ["stg_to_dot", "memory_map_text", "stg_summary_text"]
+
+_FILL = {
+    StateKind.WAIT: "lightyellow",
+    StateKind.EXEC: "lightblue",
+    StateKind.DONE: "palegreen",
+    StateKind.RESET: "lightsalmon",
+    StateKind.GLOBAL_RESET: "tomato",
+    StateKind.GLOBAL_EXEC: "skyblue",
+    StateKind.GLOBAL_DONE: "limegreen",
+}
+
+
+def stg_to_dot(stg: Stg) -> str:
+    """DOT rendering of an STG, coloured by state kind."""
+    lines = [f'digraph "{stg.name}" {{', "  rankdir=TB;"]
+    for state in stg.states:
+        shape = "doublecircle" if state.name == stg.initial else "circle"
+        label = state.name
+        lines.append(
+            f'  "{state.name}" [shape={shape} style=filled '
+            f'fillcolor={_FILL[state.kind]} label="{label}"];')
+    for t in stg.transitions:
+        cond = " & ".join(t.conditions)
+        act = ", ".join(t.actions)
+        label = cond
+        if act:
+            label = f"{cond} / {act}" if cond else f"/ {act}"
+        lines.append(f'  "{t.src}" -> "{t.dst}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def stg_summary_text(stg: Stg) -> str:
+    """One-paragraph structural summary (used by benches and reports)."""
+    stats = stg.stats()
+    by_kind = ", ".join(f"{k}:{v}" for k, v in sorted(stats["by_kind"].items()))
+    return (f"STG {stg.name}: {stats['states']} states "
+            f"({by_kind}), {stats['transitions']} transitions, "
+            f"{stats['inputs']} input signals, "
+            f"{stats['outputs']} output signals")
+
+
+def memory_map_text(memory_map: MemoryMap) -> str:
+    """Textual memory map in address order (paper Fig. 3 right half)."""
+    lines = [f"memory map on {memory_map.device} "
+             f"(base 0x{memory_map.base_address:04X}, "
+             f"{memory_map.words_used} words used, "
+             f"reuse={'on' if memory_map.reuse else 'off'})"]
+    lines.append(f"{'address':>8}  {'words':>5}  {'live':>13}  edge")
+    for row in memory_map.table():
+        live = f"[{row['live'][0]},{row['live'][1]})"
+        lines.append(f"{row['address']:>8}  {row['words']:>5}  "
+                     f"{live:>13}  {row['edge']}")
+    return "\n".join(lines)

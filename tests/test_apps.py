@@ -1,0 +1,115 @@
+"""Unit tests for the application workload generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import (control_surface, four_band_equalizer,
+                        fuzzy_controller, fuzzy_spec_text, random_task_graph)
+from repro.graph import execute, validate_graph
+from repro.spec import elaborate_text
+
+
+class TestEqualizer:
+    def test_structure_matches_figure(self):
+        g = four_band_equalizer()
+        # in + 4 bands + 4 gains + mix + out = 11 nodes
+        assert len(g) == 11
+        assert g.predecessors("mix") == ["gain0", "gain1", "gain2", "gain3"]
+        assert g.successors("x") == ["band0", "band1", "band2", "band3"]
+
+    def test_is_valid_and_executable(self):
+        g = four_band_equalizer(words=8)
+        assert validate_graph(g) == []
+        values = execute(g, {"x": [100, 0, 0, 0, 0, 0, 0, 0]})
+        assert len(values["y"]) == 8
+
+    def test_unity_gains_pass_dc(self):
+        g = four_band_equalizer(words=4, gains=(1, 1, 1, 1))
+        out = execute(g, {"x": [64, 64, 64, 64]})["y"]
+        assert any(v != 0 for v in out)
+
+    def test_band_count_parameter(self):
+        g = four_band_equalizer(bands=6)
+        # input + 6 bands + 6 gains + mix + output
+        assert len(g) == 1 + 6 * 2 + 1 + 1
+        assert g.node("mix").params["arity"] == 6
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            four_band_equalizer(bands=0)
+        with pytest.raises(ValueError):
+            four_band_equalizer(gains=(1, 2))
+
+
+class TestFuzzyController:
+    def test_exactly_31_nodes_as_in_paper(self):
+        assert len(fuzzy_controller()) == 31
+
+    def test_is_valid(self):
+        assert validate_graph(fuzzy_controller()) == []
+
+    def test_centre_of_surface_is_neutral(self):
+        g = fuzzy_controller()
+        values = execute(g, {"err": [0], "derr": [0]})
+        from repro.graph import to_signed
+        assert to_signed(values["u"][0], 16) == 0
+
+    def test_surface_is_monotone_on_diagonal(self):
+        from repro.graph import to_signed
+        surface = {k: to_signed(v, 16) for k, v in control_surface(64).items()}
+        # strongly negative error+delta -> negative action, and vice versa
+        assert surface[(-128, -128)] < 0 < surface[(128, 128)]
+
+    def test_surface_symmetry(self):
+        from repro.graph import to_signed
+        g = fuzzy_controller()
+
+        def u(e, de):
+            raw = execute(g, {"err": [e], "derr": [de]})["u"][0]
+            return to_signed(raw, 16)
+
+        # rule table is symmetric in (err, derr)
+        assert u(64, -32) == u(-32, 64)
+
+    def test_spec_text_roundtrip(self):
+        text = fuzzy_spec_text(verbose=False)
+        graph = elaborate_text(text)
+        assert len(graph) == 31
+        ref = execute(fuzzy_controller(), {"err": [40], "derr": [-40]})
+        back = execute(graph, {"err": [40], "derr": [-40]})
+        assert back["u"] == ref["u"]
+
+    def test_verbose_spec_is_about_900_lines(self):
+        lines = fuzzy_spec_text(verbose=True).count("\n")
+        assert 800 <= lines <= 1000, f"spec has {lines} lines"
+
+
+class TestRandomGraphs:
+    def test_deterministic_in_seed(self):
+        a = random_task_graph(20, seed=7)
+        b = random_task_graph(20, seed=7)
+        assert a.node_names == b.node_names
+        assert [(e.src, e.dst) for e in a.edges] == \
+            [(e.src, e.dst) for e in b.edges]
+
+    def test_different_seeds_differ(self):
+        a = random_task_graph(20, seed=1)
+        b = random_task_graph(20, seed=2)
+        assert [(e.src, e.dst) for e in a.edges] != \
+            [(e.src, e.dst) for e in b.edges]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_task_graph(4, n_inputs=2, n_outputs=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=6, max_value=60),
+           st.integers(min_value=0, max_value=10_000))
+    def test_generated_graphs_always_valid_and_executable(self, n, seed):
+        g = random_task_graph(n, seed=seed)
+        assert len(g) == n
+        assert validate_graph(g) == []
+        stimuli = {node.name: [1] * node.words for node in g.inputs()}
+        values = execute(g, stimuli)
+        for out in g.outputs():
+            assert len(values[out.name]) == out.words

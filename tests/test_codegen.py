@@ -1,0 +1,228 @@
+"""Tests for VHDL/C/netlist code generation and the VHDL checker."""
+
+import pytest
+
+from repro.apps import four_band_equalizer, fuzzy_controller
+from repro.codegen import (check_vhdl, datapath_to_vhdl, fsm_to_vhdl,
+                           generate_netlist, netlist_text, software_to_c)
+from repro.comm import refine_communication
+from repro.controllers import (Fsm, synthesize_datapath_controller,
+                               synthesize_io_controller,
+                               synthesize_system_controller)
+from repro.estimate import CostModel
+from repro.graph import from_mapping
+from repro.hls import synthesize_node
+from repro.platform import cool_board, minimal_board, xc4005
+from repro.schedule import list_schedule
+from repro.stg import build_stg, minimize_stg
+
+
+def implementation(graph, arch, hw_nodes=()):
+    mapping = {}
+    for node in graph.internal_nodes():
+        mapping[node.name] = arch.fpga_names[0] if node.name in hw_nodes \
+            else arch.processor_names[0]
+    partition = from_mapping(graph, mapping, arch.fpga_names,
+                             arch.processor_names)
+    schedule = list_schedule(partition, CostModel(graph, arch))
+    stg, _ = minimize_stg(build_stg(schedule))
+    controller = synthesize_system_controller(stg)
+    plan = refine_communication(schedule, arch)
+    return partition, schedule, controller, plan
+
+
+@pytest.fixture(scope="module")
+def equalizer_impl():
+    graph = four_band_equalizer(words=8)
+    return (graph,) + implementation(graph, minimal_board(),
+                                     {"band0", "gain0"})
+
+
+class TestFsmVhdl:
+    def test_all_controller_fsms_pass_checker(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        for fsm in controller.fsms:
+            text = fsm_to_vhdl(fsm)
+            assert check_vhdl(text) == [], f"{fsm.name} failed:\n{text}"
+
+    def test_entity_and_ports_present(self, equalizer_impl):
+        *_, controller, _ = equalizer_impl
+        text = fsm_to_vhdl(controller.phase_fsm)
+        assert "entity phase is" in text
+        assert "clk : in std_logic" in text
+        assert "rst : in std_logic" in text
+        assert "system_done : out std_logic" in text
+
+    def test_case_covers_all_states(self, equalizer_impl):
+        *_, controller, _ = equalizer_impl
+        seq = next(iter(controller.sequencers.values()))
+        text = fsm_to_vhdl(seq)
+        for state in seq.states:
+            assert f"when st_{state} =>" in text
+
+    def test_io_and_datapath_controllers_emit(self, equalizer_impl):
+        graph, partition, *_ = equalizer_impl
+        ioc = synthesize_io_controller(graph)
+        assert check_vhdl(fsm_to_vhdl(ioc.fsm)) == []
+        dpc = synthesize_datapath_controller(partition, "fpga0",
+                                             {"band0": 60, "gain0": 25})
+        assert check_vhdl(fsm_to_vhdl(dpc.fsm)) == []
+
+    def test_encoding_comment(self, equalizer_impl):
+        *_, controller, _ = equalizer_impl
+        assert "encoding scheme: one_hot" in fsm_to_vhdl(
+            controller.phase_fsm, encoding="one_hot")
+
+
+class TestDatapathVhdl:
+    def test_fir_datapath_passes_checker(self):
+        from repro.graph import make_node
+        node = make_node("band0", "fir", {"taps": (1, 2, 3)}, words=8)
+        result = synthesize_node(node, xc4005())
+        text = datapath_to_vhdl(result.rtl)
+        assert check_vhdl(text) == [], text
+        assert "entity band0 is" in text
+
+    def test_micro_schedule_documented(self):
+        from repro.graph import make_node
+        node = make_node("g", "gain", {"factor": 3}, words=4)
+        result = synthesize_node(node, xc4005())
+        text = datapath_to_vhdl(result.rtl)
+        assert "-- step 0:" in text
+
+
+class TestVhdlChecker:
+    def test_accepts_valid(self):
+        fsm = Fsm("ok")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", conditions=("x",), actions=("y",))
+        assert check_vhdl(fsm_to_vhdl(fsm)) == []
+
+    def test_detects_unbalanced_process(self):
+        text = fsm_to_vhdl(_simple_fsm()).replace("end process;", "", 1)
+        assert any("process" in p for p in check_vhdl(text))
+
+    def test_detects_undeclared_signal(self):
+        text = fsm_to_vhdl(_simple_fsm())
+        text = text.replace("begin", "begin\n  ghost <= '1';", 1)
+        assert any("ghost" in p for p in check_vhdl(text))
+
+    def test_detects_unknown_entity_reference(self):
+        text = "architecture rtl of missing is\nbegin\nend architecture;"
+        assert any("unknown entity" in p for p in check_vhdl(text))
+
+
+def _simple_fsm():
+    fsm = Fsm("simple")
+    fsm.add_state("a")
+    fsm.add_state("b")
+    fsm.add_transition("a", "b", conditions=("x",), actions=("y",))
+    fsm.add_transition("b", "a", conditions=("x",))
+    return fsm
+
+
+class TestCCodegen:
+    def test_program_structure(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        assert "int main(void)" in code
+        for entry in schedule.on_resource("dsp0"):
+            assert f"static void f_{entry.node}(" in code
+            assert f"f_{entry.node}(" in code
+
+    def test_memory_mapped_addresses_match_plan(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        for channel in plan.memory_mapped():
+            producer = channel.channel.producer_unit
+            consumer = channel.channel.consumer_unit
+            if "dsp0" in (producer, consumer):
+                assert f"0x{channel.cell.address:04X}" in code
+
+    def test_schedule_order_preserved(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        order = [e.node for e in schedule.on_resource("dsp0")]
+        positions = [code.index(f"/* node {n} ") for n in order]
+        assert positions == sorted(positions)
+
+    def test_start_done_handshake(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        assert "while (!START_REG(0))" in code
+        assert "DONE_REG(0) = 1;" in code
+
+    def test_fir_body_realistic(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        assert "acc += (long)taps[j]" in code
+
+    def test_braces_balanced(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        code = software_to_c(graph, partition, schedule, plan, "dsp0")
+        assert code.count("{") == code.count("}")
+
+
+class TestNetlist:
+    def test_fig4_components_present(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        netlist = generate_netlist(partition, minimal_board(), controller,
+                                   plan)
+        names = {c.name for c in netlist.components}
+        assert {"sysctl", "io_controller", "arbiter", "dsp0", "fpga0",
+                "dpc_fpga0", "sram", "sysbus"} <= names
+
+    def test_every_node_has_start_done_nets(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        netlist = generate_netlist(partition, minimal_board(), controller,
+                                   plan)
+        net_names = {n.name for n in netlist.nets}
+        for node in graph.nodes:
+            assert f"start_{node.name}" in net_names
+            assert f"done_{node.name}" in net_names
+
+    def test_validates_clean(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        netlist = generate_netlist(partition, minimal_board(), controller,
+                                   plan)
+        assert netlist.validate() == []
+
+    def test_direct_channels_point_to_point(self):
+        graph = four_band_equalizer(words=8)
+        arch = cool_board()
+        mapping = {n.name: "dsp0" for n in graph.internal_nodes()}
+        mapping.update({"band0": "fpga0", "gain0": "fpga1"})
+        partition = from_mapping(graph, mapping, arch.fpga_names,
+                                 arch.processor_names)
+        schedule = list_schedule(partition, CostModel(graph, arch))
+        stg, _ = minimize_stg(build_stg(schedule))
+        controller = synthesize_system_controller(stg)
+        plan = refine_communication(schedule, arch)
+        netlist = generate_netlist(partition, arch, controller, plan)
+        direct_nets = [n for n in netlist.nets
+                       if n.name.startswith("direct_")]
+        assert direct_nets
+        for net in direct_nets:
+            assert net.driver.split(".")[0] == "fpga0"
+            assert net.sinks[0].split(".")[0] == "fpga1"
+
+    def test_text_rendering(self, equalizer_impl):
+        graph, partition, schedule, controller, plan = equalizer_impl
+        netlist = generate_netlist(partition, minimal_board(), controller,
+                                   plan)
+        text = netlist_text(netlist)
+        assert "components:" in text
+        assert "sysctl" in text
+        assert "XC4005" in text
+
+    def test_fuzzy_netlist_on_paper_board(self):
+        graph = fuzzy_controller()
+        arch = cool_board()
+        partition, schedule, controller, plan = implementation(
+            graph, arch, {"fz_e", "fz_de"})
+        netlist = generate_netlist(partition, arch, controller, plan)
+        stats = netlist.stats()
+        assert stats["by_kind"]["fpga"] == 2
+        assert stats["by_kind"]["processor"] == 1
+        assert stats["by_kind"]["memory"] == 1

@@ -1,0 +1,115 @@
+"""Tests for communication synthesis (channels, protocols, refinement)."""
+
+import pytest
+
+from repro.apps import four_band_equalizer
+from repro.comm import (DIRECT, MEMORY_MAPPED, channels_of,
+                        refine_communication)
+from repro.estimate import CostModel
+from repro.graph import from_mapping
+from repro.platform import cool_board
+from repro.schedule import list_schedule
+
+
+def make_schedule(mapping_plan):
+    graph = four_band_equalizer(words=8)
+    arch = cool_board()
+    mapping = {}
+    for node in graph.internal_nodes():
+        mapping[node.name] = mapping_plan.get(node.name, "dsp0")
+    partition = from_mapping(graph, mapping, arch.fpga_names,
+                             arch.processor_names)
+    schedule = list_schedule(partition, CostModel(graph, arch))
+    return graph, arch, partition, schedule
+
+
+class TestChannels:
+    def test_channels_match_cut_edges(self):
+        _, _, partition, _ = make_schedule({"band0": "fpga0"})
+        channels = channels_of(partition)
+        assert {c.edge for c in channels} == \
+            {e.name for e in partition.cut_edges()}
+
+    def test_channel_units(self):
+        _, _, partition, _ = make_schedule({"band0": "fpga0"})
+        channels = {c.edge: c for c in channels_of(partition)}
+        edge = next(e for e in partition.cut_edges()
+                    if e.src == "band0" and e.dst == "gain0")
+        assert channels[edge.name].producer_unit == "fpga0"
+        assert channels[edge.name].consumer_unit == "dsp0"
+        assert channels[edge.name].bits == 8 * 16
+
+
+class TestProtocols:
+    def test_burst_cycles(self):
+        assert MEMORY_MAPPED.burst_cycles(4) == 2 + 2 * 4
+        assert DIRECT.burst_cycles(4) == 2 + 4
+
+    def test_direct_avoids_bus(self):
+        assert MEMORY_MAPPED.uses_bus
+        assert not DIRECT.uses_bus
+
+
+class TestRefinement:
+    def test_hw_hw_channels_become_direct(self):
+        # band0 on fpga0 feeds gain0 on fpga1: a hardware-hardware link
+        _, arch, _, schedule = make_schedule({"band0": "fpga0",
+                                              "gain0": "fpga1"})
+        plan = refine_communication(schedule, arch)
+        channel = plan.channel("band0__to__gain0_p0")
+        assert channel.is_direct
+        assert channel.cell is None
+
+    def test_cpu_channels_are_memory_mapped(self):
+        _, arch, partition, schedule = make_schedule({"band0": "fpga0"})
+        plan = refine_communication(schedule, arch)
+        edge = next(e for e in partition.cut_edges()
+                    if e.src == "band0" and e.dst == "gain0")
+        channel = plan.channel(edge.name)
+        assert channel.is_memory_mapped
+        assert channel.cell is not None
+        assert channel.cell.address >= arch.memory.base_address
+
+    def test_io_channels_are_memory_mapped(self):
+        _, arch, partition, schedule = make_schedule({"band0": "fpga0"})
+        plan = refine_communication(schedule, arch)
+        io_edges = [e for e in partition.cut_edges()
+                    if partition.resource_of(e.src) == "io"
+                    or partition.resource_of(e.dst) == "io"]
+        assert io_edges
+        for edge in io_edges:
+            assert plan.channel(edge.name).is_memory_mapped
+
+    def test_allow_direct_false_forces_memory(self):
+        _, arch, _, schedule = make_schedule({"band0": "fpga0",
+                                              "gain0": "fpga1"})
+        plan = refine_communication(schedule, arch, allow_direct=False)
+        assert plan.direct() == []
+        assert len(plan.memory_mapped()) == len(plan.channels)
+
+    def test_every_cut_edge_refined(self):
+        _, arch, partition, schedule = make_schedule(
+            {"band0": "fpga0", "band1": "fpga1", "gain1": "fpga1"})
+        plan = refine_communication(schedule, arch)
+        assert set(plan.channels) == {e.name for e in partition.cut_edges()}
+
+    def test_direct_channels_free_memory(self):
+        _, arch, _, schedule = make_schedule({"band0": "fpga0",
+                                              "gain0": "fpga1"})
+        with_direct = refine_communication(schedule, arch)
+        without = refine_communication(schedule, arch, allow_direct=False)
+        assert with_direct.memory_map.words_used <= \
+            without.memory_map.words_used
+
+    def test_stats(self):
+        _, arch, _, schedule = make_schedule({"band0": "fpga0",
+                                              "gain0": "fpga1"})
+        stats = refine_communication(schedule, arch).stats()
+        assert stats["channels"] == stats["memory_mapped"] + stats["direct"]
+        assert stats["direct"] >= 1
+
+    def test_unknown_channel_lookup_raises(self):
+        _, arch, _, schedule = make_schedule({"band0": "fpga0"})
+        plan = refine_communication(schedule, arch)
+        with pytest.raises(KeyError):
+            plan.channel("ghost_edge")

@@ -1,0 +1,106 @@
+"""Tests for the DCT workload and streaming (multi-block) co-simulation."""
+
+import math
+
+import pytest
+
+from repro.apps import dct_stage, four_band_equalizer
+from repro.apps.dct import FACTOR_SCALE, dct_factor
+from repro.graph import execute, to_signed, validate_graph
+from repro.platform import minimal_board
+from tests.test_cosim import build_system
+
+
+class TestDctGraph:
+    def test_valid_and_sized(self):
+        g = dct_stage(points=8)
+        assert validate_graph(g) == []
+        # in + 8 selects + 8*8 gains + adder trees (7 per coeff) +
+        # 8 shifts + pack + out
+        assert len(g) == 1 + 8 + 64 + 56 + 8 + 1 + 1
+
+    def test_coefficient_limit(self):
+        g = dct_stage(points=8, coefficients=2)
+        assert g.node("pack").words == 2
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            dct_stage(points=1)
+        with pytest.raises(ValueError):
+            dct_stage(points=8, coefficients=0)
+
+    def test_factor_q6(self):
+        assert dct_factor(0, 0, 8) == round(math.sqrt(1 / 8) * FACTOR_SCALE)
+
+    def test_dc_coefficient_of_constant_block(self):
+        g = dct_stage(points=8, coefficients=1)
+        block = [10] * 8
+        out = execute(g, {"block": block})["coeffs"]
+        # DC of a constant block: 8 * 10 * sqrt(1/8) ~ 28.3
+        expected = round(8 * 10 * math.sqrt(1 / 8))
+        assert abs(to_signed(out[0], 16) - expected) <= 2
+
+    def test_ac_of_constant_block_is_zero(self):
+        g = dct_stage(points=8, coefficients=4)
+        out = execute(g, {"block": [25] * 8})["coeffs"]
+        for v in out[1:]:
+            assert abs(to_signed(v, 16)) <= 2  # rounding noise only
+
+    def test_matches_float_dct(self):
+        g = dct_stage(points=8)
+        block = [10, -20, 30, 5, 0, 12, -7, 40]
+        out = execute(g, {"block": [b & 0xFFFF for b in block]})["coeffs"]
+        for k in range(8):
+            c = math.sqrt(1 / 8) if k == 0 else math.sqrt(2 / 8)
+            ref = c * sum(b * math.cos(math.pi * (2 * n + 1) * k / 16)
+                          for n, b in enumerate(block))
+            assert abs(to_signed(out[k], 16) - ref) <= 6, k
+
+
+class TestDctCosim:
+    def test_dct_cosimulates_correctly_mixed(self):
+        g = dct_stage(points=4)
+        hw = {n.name for n in g.internal_nodes() if n.name.startswith("m0")}
+        mapping = {n: "fpga0" for n in hw}
+        sim, stimuli, _ = build_system(g, minimal_board(), mapping)
+        result = sim.run()
+        assert result.outputs["coeffs"] == execute(g, stimuli)["coeffs"]
+
+
+class TestStreaming:
+    def test_two_blocks_match_reference(self):
+        g = four_band_equalizer(words=8)
+        blocks = [{"x": [10, 0, 0, 0, 0, 0, 0, 0]},
+                  {"x": [0, 20, 0, 0, 0, 0, 0, 5]}]
+        sim, _, _ = build_system(g, minimal_board(),
+                                 {"band0": "fpga0"},
+                                 stimuli=blocks[0])
+        results = sim.run_stream(blocks)
+        assert len(results) == 2
+        for block, result in zip(blocks, results):
+            assert result.outputs["y"] == execute(g, block)["y"]
+
+    def test_stream_cycles_monotone(self):
+        g = four_band_equalizer(words=8)
+        blocks = [{"x": [i] * 8} for i in (1, 2, 3)]
+        sim, _, _ = build_system(g, minimal_board(), {},
+                                 stimuli=blocks[0])
+        results = sim.run_stream(blocks)
+        assert results[0].cycles < results[1].cycles < results[2].cycles
+
+    def test_restart_before_done_rejected(self):
+        from repro.sim import SimError
+        g = four_band_equalizer(words=8)
+        sim, stimuli, _ = build_system(g, minimal_board(), {})
+        with pytest.raises(SimError):
+            sim.restart(stimuli)
+
+    def test_ten_block_stream(self):
+        g = four_band_equalizer(words=4)
+        blocks = [{"x": [i, -i & 0xFFFF, 2 * i, 0]} for i in range(10)]
+        sim, _, _ = build_system(g, minimal_board(),
+                                 {"band1": "fpga0", "gain1": "fpga0"},
+                                 stimuli=blocks[0])
+        results = sim.run_stream(blocks)
+        for block, result in zip(blocks, results):
+            assert result.outputs["y"] == execute(g, block)["y"]

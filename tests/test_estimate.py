@@ -1,0 +1,149 @@
+"""Unit tests for the repro.estimate package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.estimate import (CostModel, hw_area_clbs, hw_cycles, read_cycles,
+                            sw_cycles, sw_seconds, transfer_cycles,
+                            write_cycles)
+from repro.graph import TaskGraph, make_node
+from repro.graph.taskgraph import DataEdge
+from repro.platform import cool_board, dsp56001, minimal_board, xc4005
+
+
+def fir_node(taps=8, words=16):
+    return make_node("f", "fir", {"taps": tuple(range(1, taps + 1))}, words=words)
+
+
+class TestSoftwareEstimate:
+    def test_mac_dominated_fir(self):
+        dsp = dsp56001()
+        node = fir_node(taps=8, words=16)
+        cycles = sw_cycles(node, dsp)
+        # 8 taps x 16 words MACs + 32 movs, priced by the cycle table,
+        # plus the per-activation overhead
+        expected = (8 * 16 * dsp.cycles_for("mac")
+                    + 2 * 16 * dsp.cycles_for("mov")
+                    + dsp.call_overhead_cycles)
+        assert cycles == expected
+
+    def test_more_taps_cost_more(self):
+        dsp = dsp56001()
+        assert sw_cycles(fir_node(16), dsp) > sw_cycles(fir_node(4), dsp)
+
+    def test_seconds_scale_with_clock(self):
+        node = fir_node()
+        fast = dsp56001(clock_hz=40e6)
+        slow = dsp56001(clock_hz=20e6)
+        assert sw_seconds(node, fast) == pytest.approx(
+            sw_seconds(node, slow) / 2)
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=1, max_value=64))
+    def test_cycles_positive_and_monotone_in_words(self, taps, words):
+        dsp = dsp56001()
+        node = make_node("f", "fir", {"taps": (1,) * taps}, words=words)
+        bigger = make_node("f", "fir", {"taps": (1,) * taps}, words=words + 1)
+        assert 0 < sw_cycles(node, dsp) < sw_cycles(bigger, dsp)
+
+
+class TestHardwareEstimate:
+    def test_pipelined_fir_cycles(self):
+        # 8 taps x 16 words = 128 MACs through a pipelined MAC (II=1,
+        # latency 2) plus the start/done handshake
+        node = fir_node(taps=8, words=16)
+        assert hw_cycles(node, xc4005()) == 2 + (128 + 2 - 1)
+
+    def test_hw_beats_dsp_on_division_heavy_nodes(self):
+        # the DSP56001 emulates division (20 cycles); a hardware divider
+        # pipelines it, so per-clock the FPGA must win on defuzz
+        node = make_node("d", "defuzz", {"centroids": tuple(range(16))},
+                         words=1)
+        assert hw_cycles(node, xc4005()) < sw_cycles(node, dsp56001())
+
+    def test_area_positive_and_monotone_in_width(self):
+        fpga = xc4005()
+        narrow = make_node("n", "gain", {"factor": 3}, width=8, words=4)
+        wide = make_node("n", "gain", {"factor": 3}, width=32, words=4)
+        assert 0 < hw_area_clbs(narrow, fpga) < hw_area_clbs(wide, fpga)
+
+    def test_multiplier_costs_more_than_adder(self):
+        fpga = xc4005()
+        adder = make_node("n", "add", words=4)
+        multiplier = make_node("n", "mul", words=4)
+        assert hw_area_clbs(multiplier, fpga) > hw_area_clbs(adder, fpga)
+
+    def test_single_fir_fits_xc4005(self):
+        # sanity: one 4-tap FIR datapath must fit the paper's FPGA
+        assert hw_area_clbs(fir_node(4, words=8), xc4005()) < 196
+
+
+class TestCommunicationEstimate:
+    def test_transfer_is_write_plus_read(self):
+        arch = minimal_board()
+        edge = DataEdge("a", "b", 0, 16, 8)
+        assert transfer_cycles(edge, arch) == (write_cycles(edge, arch)
+                                               + read_cycles(edge, arch))
+
+    def test_wider_payloads_cost_more(self):
+        arch = minimal_board()
+        small = DataEdge("a", "b", 0, 16, 2)
+        large = DataEdge("a", "b", 0, 16, 20)
+        assert transfer_cycles(large, arch) > transfer_cycles(small, arch)
+
+
+class TestCostModel:
+    @pytest.fixture
+    def setup(self):
+        g = TaskGraph("t")
+        g.add_node(name="in0", kind="input", words=8)
+        g.add_node(name="f", kind="fir", params={"taps": (1, 2, 3, 4)}, words=8)
+        g.add_node(name="out0", kind="output", words=8)
+        g.add_edge("in0", "f")
+        g.add_edge("f", "out0")
+        return g, cool_board()
+
+    def test_latency_for_all_resources(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        for res in arch.resource_names:
+            assert model.latency("f", res) >= 1
+
+    def test_io_latency_is_bus_bound(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        assert model.latency("in0", "io") == max(
+            1, arch.bus.transfer_cycles(16, 8))
+
+    def test_area_only_for_fpgas(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        assert model.area("f", "fpga0") > 0
+        with pytest.raises(KeyError):
+            model.area("f", "dsp0")
+
+    def test_ticks_account_for_clock_ratio(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        from repro.estimate.software import sw_cycles as raw
+        dsp = arch.processor("dsp0")
+        raw_cycles = raw(graph.node("f"), dsp)
+        ticks = model.latency("f", "dsp0")
+        # 20 MHz CPU vs 10 MHz bus: ticks should be about half the cycles
+        assert ticks == -(-raw_cycles // 2)
+
+    def test_cache_returns_same_object(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        assert model.node_cost("f") is model.node_cost("f")
+
+    def test_software_bound(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        assert model.software_bound() == model.latency("f", "dsp0")
+
+    def test_summary_lists_internal_nodes(self, setup):
+        graph, arch = setup
+        model = CostModel(graph, arch)
+        summary = model.summary()
+        assert [row["node"] for row in summary["nodes"]] == ["f"]

@@ -1,0 +1,157 @@
+"""Unit + property tests for the FSM core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.controllers import Fsm, FsmError, encode_states
+
+
+def traffic_light() -> Fsm:
+    fsm = Fsm("light")
+    fsm.add_state("red", outputs=("stop",))
+    fsm.add_state("green", outputs=("drive",))
+    fsm.add_state("yellow")
+    fsm.add_transition("red", "green", conditions=("timer",))
+    fsm.add_transition("green", "yellow", conditions=("timer",))
+    fsm.add_transition("yellow", "red", conditions=("timer",))
+    return fsm
+
+
+class TestFsmBasics:
+    def test_first_state_becomes_initial(self):
+        fsm = traffic_light()
+        assert fsm.initial == "red"
+
+    def test_duplicate_state_rejected(self):
+        fsm = traffic_light()
+        with pytest.raises(FsmError):
+            fsm.add_state("red")
+
+    def test_transition_unknown_state_rejected(self):
+        fsm = traffic_light()
+        with pytest.raises(FsmError):
+            fsm.add_transition("red", "ghost")
+
+    def test_inputs_outputs_inventory(self):
+        fsm = traffic_light()
+        assert fsm.inputs == ["timer"]
+        assert set(fsm.outputs) == {"stop", "drive"}
+
+    def test_validate_detects_unreachable(self):
+        fsm = traffic_light()
+        fsm.add_state("island")
+        assert any("unreachable" in p for p in fsm.validate())
+
+    def test_validate_clean(self):
+        assert traffic_light().validate() == []
+
+
+class TestSimulation:
+    def test_step_holds_without_condition(self):
+        fsm = traffic_light()
+        state, outputs = fsm.step("red", set())
+        assert state == "red"
+        assert outputs == ("stop",)
+
+    def test_step_fires_on_condition(self):
+        fsm = traffic_light()
+        state, outputs = fsm.step("red", {"timer"})
+        assert state == "green"
+
+    def test_moore_outputs_of_current_state(self):
+        fsm = traffic_light()
+        _, outputs = fsm.step("green", set())
+        assert "drive" in outputs
+
+    def test_simulate_cycle(self):
+        fsm = traffic_light()
+        log = fsm.simulate([{"timer"}] * 3)
+        assert [state for state, _ in log] == ["green", "yellow", "red"]
+
+    def test_priority_resolves_overlap(self):
+        fsm = Fsm("prio")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_state("c")
+        fsm.add_transition("a", "b", conditions=("x",))
+        fsm.add_transition("a", "c", conditions=("x",))  # lower priority
+        state, _ = fsm.step("a", {"x"})
+        assert state == "b"
+
+    def test_mealy_actions_emitted_once(self):
+        fsm = Fsm("pulse")
+        fsm.add_state("idle")
+        fsm.add_state("busy")
+        fsm.add_transition("idle", "busy", conditions=("start",),
+                           actions=("ack",))
+        fsm.add_transition("busy", "idle", conditions=("stop",))
+        log = fsm.simulate([{"start"}, set(), {"stop"}])
+        assert log[0] == ("busy", ("ack",))
+        assert log[1] == ("busy", ())
+
+
+class TestMinimize:
+    def test_equivalent_states_merge(self):
+        fsm = Fsm("dup")
+        fsm.add_state("s0")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_state("end")
+        fsm.add_transition("s0", "a", conditions=("p",))
+        fsm.add_transition("s0", "b", conditions=("q",))
+        fsm.add_transition("a", "end", conditions=("t",), actions=("out",))
+        fsm.add_transition("b", "end", conditions=("t",), actions=("out",))
+        fsm.add_transition("end", "s0")
+        reduced = fsm.minimize()
+        assert len(reduced.states) == 3
+
+    def test_behaviour_preserved_under_minimize(self):
+        fsm = traffic_light()
+        reduced = fsm.minimize()
+        trace = [{"timer"} if i % 2 else set() for i in range(10)]
+        assert [o for _, o in fsm.simulate(trace)] == \
+            [o for _, o in reduced.simulate(trace)]
+
+    def test_distinct_states_not_merged(self):
+        fsm = traffic_light()
+        assert len(fsm.minimize().states) == 3
+
+
+class TestEncoding:
+    def test_binary_width(self):
+        fsm = traffic_light()
+        codes = encode_states(fsm, "binary")
+        assert all(len(c) == 2 for c in codes.values())
+        assert len(set(codes.values())) == 3
+
+    def test_one_hot(self):
+        fsm = traffic_light()
+        codes = encode_states(fsm, "one_hot")
+        assert all(c.count("1") == 1 for c in codes.values())
+        assert all(len(c) == 3 for c in codes.values())
+
+    def test_gray_adjacent_single_bit(self):
+        fsm = Fsm("g")
+        for i in range(8):
+            fsm.add_state(f"s{i}")
+        codes = encode_states(fsm, "gray")
+        ordered = [codes[f"s{i}"] for i in range(8)]
+        for a, b in zip(ordered, ordered[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(FsmError):
+            encode_states(traffic_light(), "quantum")
+
+    def test_empty_fsm_rejected(self):
+        with pytest.raises(FsmError):
+            encode_states(Fsm("empty"), "binary")
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_encodings_always_unique(self, n):
+        fsm = Fsm("n")
+        for i in range(n):
+            fsm.add_state(f"s{i}")
+        for scheme in ("binary", "one_hot", "gray"):
+            codes = encode_states(fsm, scheme)
+            assert len(set(codes.values())) == n

@@ -1,0 +1,92 @@
+"""Unit tests for repro.graph.partition (coloured partitioning graphs)."""
+
+import pytest
+
+from repro.graph import (IO_RESOURCE, Partition, PartitionError, TaskGraph,
+                         all_hardware, all_software, from_mapping)
+
+
+@pytest.fixture
+def chain() -> TaskGraph:
+    g = TaskGraph("chain")
+    g.add_node(name="in0", kind="input", words=2)
+    g.add_node(name="a", kind="copy", words=2)
+    g.add_node(name="b", kind="gain", params={"factor": 2}, words=2)
+    g.add_node(name="out0", kind="output", words=2)
+    g.add_edge("in0", "a")
+    g.add_edge("a", "b")
+    g.add_edge("b", "out0")
+    return g
+
+
+class TestConstruction:
+    def test_io_nodes_pinned_automatically(self, chain):
+        part = all_software(chain, "cpu")
+        assert part.resource_of("in0") == IO_RESOURCE
+        assert part.resource_of("out0") == IO_RESOURCE
+
+    def test_missing_colour_rejected(self, chain):
+        with pytest.raises(PartitionError):
+            Partition(chain, {"a": "cpu"}, (), ("cpu",))
+
+    def test_unknown_resource_rejected(self, chain):
+        with pytest.raises(PartitionError):
+            Partition(chain, {"a": "ghost", "b": "cpu"}, (), ("cpu",))
+
+    def test_internal_node_on_io_rejected(self, chain):
+        with pytest.raises(PartitionError):
+            Partition(chain, {"a": IO_RESOURCE, "b": "cpu"}, (), ("cpu",))
+
+    def test_unknown_node_in_mapping_rejected(self, chain):
+        with pytest.raises(PartitionError):
+            Partition(chain, {"a": "cpu", "b": "cpu", "zz": "cpu"}, (), ("cpu",))
+
+    def test_resource_in_both_sets_rejected(self, chain):
+        with pytest.raises(PartitionError):
+            Partition(chain, {"a": "x", "b": "x"}, ("x",), ("x",))
+
+
+class TestQueries:
+    def test_all_software_baseline(self, chain):
+        part = all_software(chain, "cpu")
+        assert part.sw_nodes() and not part.hw_nodes()
+        assert part.nodes_on("cpu") == ["a", "b"]
+
+    def test_all_hardware_baseline(self, chain):
+        part = all_hardware(chain, "fpga0")
+        assert part.hw_nodes() and not part.sw_nodes()
+
+    def test_cut_edges_pure_software(self, chain):
+        part = all_software(chain, "cpu")
+        # io->a and b->io cross processing units; a->b stays local
+        cut = {e.name for e in part.cut_edges()}
+        assert cut == {"in0__to__a_p0", "b__to__out0_p0"}
+        assert len(part.local_edges()) == 1
+
+    def test_cut_edges_mixed(self, chain):
+        part = from_mapping(chain, {"a": "cpu", "b": "fpga0"},
+                            ("fpga0",), ("cpu",))
+        assert {e.name for e in part.cut_edges()} == {
+            "in0__to__a_p0", "a__to__b_p0", "b__to__out0_p0"}
+        assert part.cut_bits() == 3 * 2 * 16
+
+    def test_is_hardware_software(self, chain):
+        part = from_mapping(chain, {"a": "cpu", "b": "fpga0"},
+                            ("fpga0",), ("cpu",))
+        assert part.is_software("a") and not part.is_hardware("a")
+        assert part.is_hardware("b") and not part.is_software("b")
+
+    def test_with_moved(self, chain):
+        part = all_software(chain, "cpu", hw_resources=("fpga0",))
+        moved = part.with_moved("b", "fpga0")
+        assert moved.resource_of("b") == "fpga0"
+        assert part.resource_of("b") == "cpu"  # original untouched
+
+    def test_resources_used_and_summary(self, chain):
+        part = from_mapping(chain, {"a": "cpu", "b": "fpga0"},
+                            ("fpga0",), ("cpu",))
+        assert set(part.resources_used) == {IO_RESOURCE, "cpu", "fpga0"}
+        summary = part.summary()
+        assert summary["hw_nodes"] == 1
+        assert summary["sw_nodes"] == 1
+        assert summary["cut_edges"] == 3

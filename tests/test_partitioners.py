@@ -1,0 +1,200 @@
+"""Unit + integration tests for the partitioning algorithms."""
+
+import pytest
+
+from repro.apps import four_band_equalizer, fuzzy_controller, random_task_graph
+from repro.partition import (GaConfig, GeneticPartitioner, GreedyPartitioner,
+                             MilpError, MilpHeuristicPartitioner,
+                             MilpPartitioner, PartitioningProblem,
+                             area_usage, build_formulation,
+                             check_feasibility, evaluate_mapping,
+                             memory_words_needed, solve_bnb, solve_milp)
+from repro.graph import all_software
+from repro.platform import cool_board, minimal_board
+from repro.schedule import validate_schedule
+
+ALL_PARTITIONERS = [
+    MilpPartitioner(backend="scipy"),
+    MilpPartitioner(backend="bnb"),
+    GreedyPartitioner(),
+    MilpHeuristicPartitioner(),
+    GeneticPartitioner(GaConfig(population=16, generations=12, seed=3)),
+]
+
+
+@pytest.fixture(scope="module")
+def equalizer_problem():
+    return PartitioningProblem(four_band_equalizer(words=8), minimal_board())
+
+
+@pytest.fixture(scope="module")
+def fuzzy_problem():
+    return PartitioningProblem(fuzzy_controller(), cool_board())
+
+
+class TestFeasibility:
+    def test_pure_software_uses_no_area(self, equalizer_problem):
+        p = equalizer_problem
+        part = all_software(p.graph, "dsp0", hw_resources=p.arch.fpga_names)
+        assert area_usage(part, p.model) == {"fpga0": 0}
+        report = check_feasibility(part, p.model)
+        assert report.area_ok and report.feasible
+
+    def test_memory_words_scale_with_cut(self, equalizer_problem):
+        p = equalizer_problem
+        sw = all_software(p.graph, "dsp0", hw_resources=p.arch.fpga_names)
+        mapping = {n.name: "dsp0" for n in p.graph.internal_nodes()}
+        mapping["band0"] = "fpga0"
+        mixed = p.make_partition(mapping)
+        assert memory_words_needed(mixed, p.arch) > \
+            memory_words_needed(sw, p.arch)
+
+    def test_report_problems_listed(self, equalizer_problem):
+        p = equalizer_problem
+        part = all_software(p.graph, "dsp0", hw_resources=p.arch.fpga_names)
+        report = check_feasibility(part, p.model, makespan=100, deadline=10)
+        assert not report.feasible
+        assert any("deadline" in s for s in report.problems())
+
+
+class TestFormulation:
+    def test_variable_counts(self, equalizer_problem):
+        form, idx = build_formulation(equalizer_problem, "min_time")
+        n_nodes = len(equalizer_problem.graph.internal_nodes())
+        n_res = len(equalizer_problem.resources)
+        internal_edges = [e for e in equalizer_problem.graph.edges
+                          if not equalizer_problem.graph.node(e.src).is_io
+                          and not equalizer_problem.graph.node(e.dst).is_io]
+        assert form.n_binaries == n_nodes * n_res
+        assert form.n_vars == n_nodes * n_res + len(internal_edges) + 1
+
+    def test_min_area_requires_deadline(self, equalizer_problem):
+        with pytest.raises(MilpError):
+            build_formulation(equalizer_problem, "min_area", deadline=None)
+
+    def test_unknown_objective_rejected(self, equalizer_problem):
+        with pytest.raises(ValueError):
+            build_formulation(equalizer_problem, "min_everything")
+
+    def test_assignment_constraints_one_per_node(self, equalizer_problem):
+        form, _ = build_formulation(equalizer_problem, "min_time")
+        assert len(form.a_eq) == len(equalizer_problem.graph.internal_nodes())
+        assert all(rhs == 1.0 for rhs in form.b_eq)
+
+
+class TestBackendsAgree:
+    def test_scipy_and_bnb_same_objective(self):
+        problem = PartitioningProblem(four_band_equalizer(words=4),
+                                      minimal_board())
+        form, _ = build_formulation(problem, "min_time")
+        xs = solve_milp(form)
+        xb = solve_bnb(form)
+        assert xs is not None and xb is not None
+        obj_s = sum(c * v for c, v in zip(form.c, xs))
+        obj_b = sum(c * v for c, v in zip(form.c, xb))
+        assert obj_b == pytest.approx(obj_s, rel=1e-6, abs=1e-6)
+
+    def test_bnb_finds_integral_solutions(self):
+        problem = PartitioningProblem(four_band_equalizer(words=4),
+                                      minimal_board())
+        form, _ = build_formulation(problem, "min_time")
+        x = solve_bnb(form)
+        assert x is not None
+        for i, flag in enumerate(form.integrality):
+            if flag:
+                assert x[i] == pytest.approx(round(x[i]), abs=1e-6)
+
+    def test_infeasible_detected_by_both(self, equalizer_problem):
+        form, _ = build_formulation(equalizer_problem, "min_area", deadline=1)
+        assert solve_milp(form) is None
+        assert solve_bnb(form) is None
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner", ALL_PARTITIONERS,
+                             ids=lambda p: p.name)
+    def test_valid_result_on_equalizer(self, partitioner, equalizer_problem):
+        result = partitioner.partition(equalizer_problem)
+        assert validate_schedule(result.schedule) == []
+        assert result.feasibility.area_ok
+        assert result.feasibility.memory_ok
+        summary = result.summary()
+        assert summary["algorithm"] == partitioner.name
+        assert summary["makespan"] == result.makespan
+
+    @pytest.mark.parametrize("partitioner", ALL_PARTITIONERS,
+                             ids=lambda p: p.name)
+    def test_beats_pure_software_on_equalizer(self, partitioner,
+                                              equalizer_problem):
+        p = equalizer_problem
+        sw = all_software(p.graph, "dsp0", hw_resources=p.arch.fpga_names)
+        _, sw_schedule, _ = evaluate_mapping(
+            p, {n.name: "dsp0" for n in p.graph.internal_nodes()})
+        result = partitioner.partition(p)
+        assert result.makespan <= sw_schedule.makespan
+
+    def test_milp_min_area_meets_deadline(self):
+        graph = four_band_equalizer(words=8)
+        arch = minimal_board()
+        free = PartitioningProblem(graph, arch)
+        best = MilpPartitioner().partition(free).makespan
+        sw_time = evaluate_mapping(
+            free, {n.name: "dsp0" for n in graph.internal_nodes()}
+        )[1].makespan
+        deadline = (best + sw_time) // 2
+        problem = PartitioningProblem(graph, arch, deadline=deadline)
+        result = MilpPartitioner().partition(problem)
+        assert result.makespan <= deadline
+        assert result.feasibility.feasible
+        # area-minimizing: should not use more hardware than the
+        # unconstrained makespan-minimizer
+        assert result.hw_area <= MilpPartitioner().partition(free).hw_area
+
+    def test_milp_impossible_deadline_raises(self, equalizer_problem):
+        problem = PartitioningProblem(equalizer_problem.graph,
+                                      equalizer_problem.arch, deadline=1)
+        with pytest.raises(MilpError):
+            MilpPartitioner().partition(problem)
+
+    def test_greedy_respects_area(self):
+        problem = PartitioningProblem(fuzzy_controller(), cool_board())
+        result = GreedyPartitioner().partition(problem)
+        for fpga in problem.arch.fpgas:
+            assert result.feasibility.area[fpga.name] <= fpga.clb_capacity
+
+    def test_genetic_deterministic_in_seed(self, equalizer_problem):
+        a = GeneticPartitioner(GaConfig(population=10, generations=6,
+                                        seed=11)).partition(equalizer_problem)
+        b = GeneticPartitioner(GaConfig(population=10, generations=6,
+                                        seed=11)).partition(equalizer_problem)
+        assert a.partition.mapping == b.partition.mapping
+
+    def test_genetic_config_overrides(self):
+        ga = GeneticPartitioner(population=5, generations=2, seed=1)
+        assert ga.config.population == 5
+        assert ga.config.generations == 2
+
+    def test_fuzzy_fits_paper_board(self, fuzzy_problem):
+        # the case study: 31 nodes must fit DSP + 2x196 CLBs + 64 kB
+        result = GreedyPartitioner().partition(fuzzy_problem)
+        assert result.feasibility.feasible
+        assert validate_schedule(result.schedule) == []
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            MilpPartitioner(backend="quantum")
+
+
+class TestPartitionersOnRandomGraphs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_partitioners_valid(self, seed):
+        graph = random_task_graph(16, seed=seed)
+        problem = PartitioningProblem(graph, cool_board())
+        for partitioner in (MilpPartitioner(),
+                            GreedyPartitioner(),
+                            GeneticPartitioner(GaConfig(population=10,
+                                                        generations=6,
+                                                        seed=seed))):
+            result = partitioner.partition(problem)
+            assert validate_schedule(result.schedule) == []
+            assert result.feasibility.area_ok

@@ -1,0 +1,87 @@
+"""Tests for DOT rendering and the design-time model."""
+
+import pytest
+
+from repro.apps import four_band_equalizer
+from repro.estimate import CostModel
+from repro.flow import DesignTimeModel, DesignTimeReport
+from repro.graph import (from_mapping, graph_to_dot, partition_to_dot)
+from repro.platform import minimal_board
+from repro.schedule import list_schedule
+from repro.stg import build_stg, stg_to_dot
+
+
+def partitioned():
+    graph = four_band_equalizer(words=4)
+    arch = minimal_board()
+    mapping = {n.name: "dsp0" for n in graph.internal_nodes()}
+    mapping["band0"] = "fpga0"
+    partition = from_mapping(graph, mapping, arch.fpga_names,
+                             arch.processor_names)
+    return graph, arch, partition
+
+
+class TestDotRendering:
+    def test_graph_dot_mentions_all_nodes_and_edges(self):
+        graph, *_ = partitioned()
+        dot = graph_to_dot(graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for node in graph.nodes:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") == len(graph.edges)
+
+    def test_partition_dot_colours_and_cuts(self):
+        graph, arch, partition = partitioned()
+        dot = partition_to_dot(partition)
+        assert "fillcolor" in dot
+        # cut edges highlighted
+        assert dot.count("color=red") == len(partition.cut_edges())
+        assert "[fpga0]" in dot and "[dsp0]" in dot
+
+    def test_stg_dot_marks_initial_state(self):
+        graph, arch, partition = partitioned()
+        schedule = list_schedule(partition, CostModel(graph, arch))
+        stg = build_stg(schedule)
+        dot = stg_to_dot(stg)
+        assert "doublecircle" in dot  # the initial (global reset) state
+        assert '"w_band0"' in dot
+        # guard / action labels present
+        assert "done_band0" in dot
+        assert "start_band0" in dot
+
+
+class TestDesignTimeModel:
+    def test_hardware_seconds_scale_with_clbs(self):
+        model = DesignTimeModel(seconds_per_clb=10, per_device_s=100)
+        small = model.hardware_seconds({"fpga0": 10})
+        large = model.hardware_seconds({"fpga0": 100})
+        assert large - small == 10 * 90
+
+    def test_empty_devices_cost_nothing(self):
+        model = DesignTimeModel()
+        assert model.hardware_seconds({"fpga0": 0, "fpga1": 0}) == 0.0
+
+    def test_per_device_overhead_once_per_used_device(self):
+        model = DesignTimeModel(seconds_per_clb=0, per_device_s=100)
+        assert model.hardware_seconds({"a": 1, "b": 1, "c": 0}) == 200
+
+    def test_report_totals_and_fraction(self):
+        report = DesignTimeReport(
+            measured_stages={"partitioning": 2.0, "stg": 1.0},
+            hw_synthesis_s=970.0, sw_compile_s=17.0, board_setup_s=10.0)
+        assert report.measured_total_s == pytest.approx(3.0)
+        assert report.total_s == pytest.approx(1000.0)
+        assert report.hw_fraction == pytest.approx(0.97)
+
+    def test_rows_cover_all_components(self):
+        report = DesignTimeReport(measured_stages={"stg": 1.0},
+                                  hw_synthesis_s=5.0, sw_compile_s=2.0)
+        labels = [label for label, _ in report.rows()]
+        assert "flow: stg" in labels
+        assert any("hw synthesis" in label for label in labels)
+        assert any("sw compile" in label for label in labels)
+
+    def test_zero_total_fraction(self):
+        report = DesignTimeReport(board_setup_s=0.0)
+        assert report.hw_fraction == 0.0

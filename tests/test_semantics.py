@@ -1,0 +1,224 @@
+"""Unit + property tests for repro.graph.semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph import (SemanticsError, TaskGraph, arity_of, evaluate_node,
+                         execute, make_node, op_mix_of, registered_kinds,
+                         to_signed, wrap)
+from repro.graph.semantics import OP_CATEGORIES
+
+
+class TestWrapping:
+    @given(st.integers(min_value=-(2**40), max_value=2**40),
+           st.integers(min_value=1, max_value=32))
+    def test_wrap_is_idempotent(self, value, width):
+        assert wrap(wrap(value, width), width) == wrap(value, width)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40),
+           st.integers(min_value=2, max_value=32))
+    def test_signed_roundtrip(self, value, width):
+        signed = to_signed(value, width)
+        assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+        assert wrap(signed, width) == wrap(value, width)
+
+    def test_known_values(self):
+        assert wrap(-1, 8) == 255
+        assert to_signed(255, 8) == -1
+        assert to_signed(127, 8) == 127
+
+
+class TestKindRegistry:
+    def test_core_kinds_registered(self):
+        kinds = registered_kinds()
+        for kind in ("input", "output", "fir", "gain", "sum", "fuzzify",
+                     "defuzz", "generic"):
+            assert kind in kinds
+
+    def test_unknown_kind_raises(self):
+        node = make_node("n", "not_a_kind")
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [])
+
+    def test_arity_of(self):
+        assert arity_of(make_node("n", "add")) == 2
+        assert arity_of(make_node("n", "sum")) is None
+        assert arity_of(make_node("n", "input")) == 0
+
+    def test_op_mix_categories_are_known(self):
+        for kind, params in [
+            ("fir", {"taps": (1, 2, 1)}),
+            ("gain", {"factor": 3}),
+            ("fuzzify", {"sets": ((0, 10, 20),)}),
+            ("defuzz", {"centroids": (1, 2, 3)}),
+            ("add", {}), ("sum", {"arity": 3}), ("generic", {}),
+        ]:
+            node = make_node("n", kind, params, words=1)
+            mix = op_mix_of(node)
+            assert mix, f"empty mix for {kind}"
+            assert set(mix) <= set(OP_CATEGORIES)
+
+
+class TestEvaluation:
+    def test_fir_impulse_response_is_taps(self):
+        node = make_node("n", "fir", {"taps": (3, 5, 7)}, words=5)
+        out = evaluate_node(node, [[1, 0, 0, 0, 0]])
+        assert out == [3, 5, 7, 0, 0]
+
+    def test_fir_shift(self):
+        node = make_node("n", "fir", {"taps": (4,), "shift": 2}, words=2)
+        assert evaluate_node(node, [[8, 8]]) == [8, 8]
+
+    def test_gain(self):
+        node = make_node("n", "gain", {"factor": -2}, words=3)
+        out = evaluate_node(node, [[1, 2, 3]])
+        assert [to_signed(v, 16) for v in out] == [-2, -4, -6]
+
+    def test_add_sub_elementwise(self):
+        add = make_node("n", "add", words=2)
+        sub = make_node("n", "sub", words=2)
+        assert evaluate_node(add, [[1, 2], [10, 20]]) == [11, 22]
+        assert [to_signed(v, 16) for v in evaluate_node(sub, [[1, 2], [10, 20]])] \
+            == [-9, -18]
+
+    def test_binary_length_mismatch(self):
+        node = make_node("n", "add", words=2)
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [[1, 2], [1]])
+
+    def test_arity_mismatch(self):
+        node = make_node("n", "add", words=1)
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [[1]])
+
+    def test_sum_variable_arity(self):
+        node = make_node("n", "sum", {"arity": 3}, words=2)
+        assert evaluate_node(node, [[1, 1], [2, 2], [3, 3]]) == [6, 6]
+
+    def test_min_max_abs_negate(self):
+        assert evaluate_node(make_node("n", "min", words=1), [[5], [3]]) == [3]
+        assert evaluate_node(make_node("n", "max", words=1), [[5], [3]]) == [5]
+        assert evaluate_node(make_node("n", "abs", words=1),
+                             [[wrap(-7, 16)]]) == [7]
+        out = evaluate_node(make_node("n", "negate", words=1), [[7]])
+        assert to_signed(out[0], 16) == -7
+
+    def test_threshold(self):
+        node = make_node("n", "threshold", {"level": 10}, words=3)
+        assert evaluate_node(node, [[5, 10, 15]]) == [0, 0, 1]
+
+    def test_downsample(self):
+        node = make_node("n", "downsample", {"factor": 2}, words=2)
+        assert evaluate_node(node, [[1, 2, 3, 4]]) == [1, 3]
+
+    def test_select(self):
+        node = make_node("n", "select", {"index": 2}, words=1)
+        assert evaluate_node(node, [[9, 8, 7, 6]]) == [7]
+
+    def test_select_out_of_range(self):
+        node = make_node("n", "select", {"index": 9}, words=1)
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [[1, 2]])
+
+    def test_wrong_output_length_detected(self):
+        node = make_node("n", "downsample", {"factor": 2}, words=4)
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [[1, 2, 3, 4]])
+
+    def test_shift_both_directions(self):
+        right = make_node("n", "shift", {"amount": 1}, words=1)
+        left = make_node("n", "shift", {"amount": -1}, words=1)
+        assert evaluate_node(right, [[8]]) == [4]
+        assert evaluate_node(left, [[8]]) == [16]
+
+
+class TestFuzzySemantics:
+    SETS = ((-20, -10, 0), (-10, 0, 10), (0, 10, 20))
+
+    def test_fuzzify_peak_membership(self):
+        node = make_node("n", "fuzzify", {"sets": self.SETS, "scale": 100},
+                         words=3)
+        out = evaluate_node(node, [[0]])
+        assert out == [0, 100, 0]
+
+    def test_fuzzify_partial_membership(self):
+        node = make_node("n", "fuzzify", {"sets": self.SETS, "scale": 100},
+                         words=3)
+        out = evaluate_node(node, [[5]])
+        assert out[0] == 0
+        assert out[1] == 50
+        assert out[2] == 50
+
+    def test_fuzzify_outside_support(self):
+        node = make_node("n", "fuzzify", {"sets": self.SETS, "scale": 100},
+                         words=3)
+        assert evaluate_node(node, [[100]]) == [0, 0, 0]
+
+    def test_defuzz_centroid(self):
+        node = make_node("n", "defuzz", {"centroids": (0, 50, 100)}, words=1)
+        assert evaluate_node(node, [[0, 100, 0]]) == [50]
+        assert evaluate_node(node, [[100, 0, 100]]) == [50]
+
+    def test_defuzz_zero_weights(self):
+        node = make_node("n", "defuzz", {"centroids": (10, 20)}, words=1)
+        assert evaluate_node(node, [[0, 0]]) == [0]
+
+    def test_defuzz_shape_mismatch(self):
+        node = make_node("n", "defuzz", {"centroids": (10, 20)}, words=1)
+        with pytest.raises(SemanticsError):
+            evaluate_node(node, [[1, 2, 3]])
+
+
+class TestExecute:
+    def test_execute_diamond(self):
+        g = TaskGraph()
+        g.add_node(name="in0", kind="input", words=2)
+        g.add_node(name="g2", kind="gain", params={"factor": 2}, words=2)
+        g.add_node(name="g3", kind="gain", params={"factor": 3}, words=2)
+        g.add_node(name="s", kind="add", words=2)
+        g.add_node(name="out0", kind="output", words=2)
+        g.add_edge("in0", "g2")
+        g.add_edge("in0", "g3")
+        g.add_edge("g2", "s")
+        g.add_edge("g3", "s")
+        g.add_edge("s", "out0")
+        values = execute(g, {"in0": [1, 10]})
+        assert values["out0"] == [5, 50]
+
+    def test_execute_missing_stimulus(self):
+        g = TaskGraph()
+        g.add_node(name="in0", kind="input", words=1)
+        with pytest.raises(SemanticsError):
+            execute(g, {})
+
+    def test_execute_wrong_stimulus_length(self):
+        g = TaskGraph()
+        g.add_node(name="in0", kind="input", words=2)
+        with pytest.raises(SemanticsError):
+            execute(g, {"in0": [1]})
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=4, max_size=4))
+    def test_execute_linearity_of_gain(self, vec):
+        g = TaskGraph()
+        g.add_node(name="in0", kind="input", words=4)
+        g.add_node(name="g", kind="gain", params={"factor": 5}, words=4)
+        g.add_node(name="out0", kind="output", words=4)
+        g.add_edge("in0", "g")
+        g.add_edge("g", "out0")
+        values = execute(g, {"in0": vec})
+        expected = [to_signed(5 * v, 16) for v in vec]
+        assert [to_signed(v, 16) for v in values["out0"]] == expected
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1))
+    def test_generic_is_deterministic(self, a, b):
+        node = make_node("n", "generic", {"seed": 42}, words=3)
+        first = evaluate_node(node, [[a], [b]])
+        second = evaluate_node(node, [[a], [b]])
+        assert first == second
+
+    def test_generic_depends_on_inputs(self):
+        node = make_node("n", "generic", {"seed": 42}, words=3)
+        assert (evaluate_node(node, [[1], [2]])
+                != evaluate_node(node, [[2], [1]]))

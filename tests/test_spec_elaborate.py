@@ -1,0 +1,188 @@
+"""Unit tests for elaboration and the spec printer round-trip."""
+
+import pytest
+
+from repro.graph import TaskGraph, execute, make_node
+from repro.spec import (SpecSemanticError, elaborate, elaborate_text,
+                        graph_to_spec, parse)
+
+DIAMOND = """
+entity mixer is
+  port (
+    x : in  word_vector(16, 4);
+    y : out word_vector(16, 4)
+  );
+end entity mixer;
+
+architecture dataflow of mixer is
+  signal a_out : word_vector(16, 4);
+  signal b_out : word_vector(16, 4);
+  signal m_out : word_vector(16, 4);
+begin
+  a : process (x)
+    generic map (factor => 2);
+  begin
+    a_out <= gain(x);
+  end process;
+
+  b : process (x)
+    generic map (factor => 3);
+  begin
+    b_out <= gain(x);
+  end process;
+
+  m : process (a_out, b_out)
+  begin
+    m_out <= add(a_out, b_out);
+  end process;
+
+  y <= m_out;
+end architecture dataflow;
+"""
+
+
+class TestElaborate:
+    def test_diamond_structure(self):
+        graph = elaborate_text(DIAMOND)
+        assert graph.name == "mixer"
+        assert sorted(graph.node_names) == ["a", "b", "m", "x", "y"]
+        assert graph.predecessors("m") == ["a", "b"]
+        assert graph.successors("m") == ["y"]
+
+    def test_elaborated_graph_is_executable(self):
+        graph = elaborate_text(DIAMOND)
+        values = execute(graph, {"x": [1, 2, 3, 4]})
+        assert values["y"] == [5, 10, 15, 20]
+
+    def test_node_shapes_from_signal_types(self):
+        graph = elaborate_text(DIAMOND)
+        node = graph.node("a")
+        assert (node.width, node.words) == (16, 4)
+        assert node.params == {"factor": 2}
+
+    def test_multiple_entities_need_selection(self):
+        text = DIAMOND + DIAMOND.replace("mixer", "mixer2")
+        with pytest.raises(SpecSemanticError):
+            elaborate(parse(text))
+        graph = elaborate(parse(text), "mixer2")
+        assert graph.name == "mixer2"
+
+    def test_unknown_entity(self):
+        with pytest.raises(SpecSemanticError):
+            elaborate(parse(DIAMOND), "nope")
+
+    def test_missing_architecture(self):
+        text = """
+entity lonely is
+  port (x : in word_vector(8, 1); y : out word_vector(8, 1));
+end entity;
+"""
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "no architecture" in str(exc.value)
+
+    def test_double_driver_rejected(self):
+        text = DIAMOND.replace("b_out <= gain(x);", "a_out <= gain(x);", 1)
+        # make signatures consistent: process b now also drives a_out
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "multiple drivers" in str(exc.value)
+
+    def test_undeclared_signal_rejected(self):
+        text = DIAMOND.replace("m_out <= add(a_out, b_out);",
+                               "m_out <= add(a_out, ghost);").replace(
+            "m : process (a_out, b_out)", "m : process (a_out, ghost)")
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "ghost" in str(exc.value)
+
+    def test_sensitivity_mismatch_rejected(self):
+        text = DIAMOND.replace("m : process (a_out, b_out)",
+                               "m : process (a_out)")
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "sensitivity" in str(exc.value)
+
+    def test_undriven_output_rejected(self):
+        text = DIAMOND.replace("y <= m_out;", "")
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "never driven" in str(exc.value)
+
+    def test_assign_type_mismatch_rejected(self):
+        text = DIAMOND.replace(
+            "signal m_out : word_vector(16, 4);",
+            "signal m_out : word_vector(16, 8);")
+        with pytest.raises(SpecSemanticError):
+            elaborate_text(text)
+
+    def test_driving_port_directly_rejected(self):
+        text = """
+entity direct is
+  port (x : in word_vector(8, 1); y : out word_vector(8, 1));
+end entity;
+architecture a of direct is
+begin
+  n : process (x)
+  begin
+    y <= copy(x);
+  end process;
+end architecture;
+"""
+        with pytest.raises(SpecSemanticError) as exc:
+            elaborate_text(text)
+        assert "drives port" in str(exc.value)
+
+
+class TestPrinterRoundTrip:
+    def _roundtrip(self, graph: TaskGraph) -> TaskGraph:
+        return elaborate_text(graph_to_spec(graph))
+
+    def test_roundtrip_preserves_structure_and_behaviour(self):
+        graph = TaskGraph("rt")
+        graph.add_node(make_node("in0", "input", width=16, words=8))
+        graph.add_node(make_node("f", "fir", {"taps": (1, 2, 3, 2, 1)},
+                                 width=16, words=8))
+        graph.add_node(make_node("g", "gain", {"factor": -2}, width=16, words=8))
+        graph.add_node(make_node("s", "add", width=16, words=8))
+        graph.add_node(make_node("out0", "output", width=16, words=8))
+        graph.add_edge("in0", "f")
+        graph.add_edge("in0", "g")
+        graph.add_edge("f", "s")
+        graph.add_edge("g", "s")
+        graph.add_edge("s", "out0")
+
+        back = self._roundtrip(graph)
+        assert sorted(back.node_names) == sorted(graph.node_names)
+        stim = {"in0": [1, 0, 0, 2, 0, 0, 0, 5]}
+        assert execute(back, stim) == execute(graph, stim)
+
+    def test_roundtrip_nested_tuple_params(self):
+        graph = TaskGraph("fz")
+        graph.add_node(make_node("in0", "input", width=16, words=1))
+        graph.add_node(make_node("fz", "fuzzify",
+                                 {"sets": ((-10, 0, 10), (0, 10, 20)),
+                                  "scale": 100}, width=16, words=2))
+        graph.add_node(make_node("df", "defuzz", {"centroids": (0, 100)},
+                                 width=16, words=1))
+        graph.add_node(make_node("out0", "output", width=16, words=1))
+        graph.add_edge("in0", "fz")
+        graph.add_edge("fz", "df")
+        graph.add_edge("df", "out0")
+
+        back = self._roundtrip(graph)
+        assert back.node("fz").params["sets"] == ((-10, 0, 10), (0, 10, 20))
+        stim = {"in0": [5]}
+        assert execute(back, stim) == execute(graph, stim)
+
+    def test_spec_text_mentions_every_node(self):
+        graph = TaskGraph("t")
+        graph.add_node(make_node("in0", "input", words=2))
+        graph.add_node(make_node("n0", "copy", words=2))
+        graph.add_node(make_node("out0", "output", words=2))
+        graph.add_edge("in0", "n0")
+        graph.add_edge("n0", "out0")
+        text = graph_to_spec(graph)
+        assert "entity t is" in text
+        assert "n0 : process (in0)" in text
+        assert "out0 <= n0_out;" in text

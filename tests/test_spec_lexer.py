@@ -1,0 +1,54 @@
+"""Unit tests for the specification lexer."""
+
+import pytest
+
+from repro.spec import SpecSyntaxError, TokenKind, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("ENTITY Entity entity")
+        assert all(t.kind == TokenKind.KEYWORD for t in tokens[:-1])
+        assert all(t.text == "entity" for t in tokens[:-1])
+
+    def test_identifiers_normalized_lowercase(self):
+        tokens = tokenize("Band0 BAND0")
+        assert [t.text for t in tokens[:-1]] == ["band0", "band0"]
+        assert tokens[0].kind == TokenKind.IDENT
+
+    def test_integers(self):
+        tokens = tokenize("0 42 65535")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 65535]
+
+    def test_operators(self):
+        kinds = [t.kind for t in tokenize("<= => ( ) , ; : -")][:-1]
+        assert kinds == [TokenKind.ASSIGN, TokenKind.ARROW, TokenKind.LPAREN,
+                         TokenKind.RPAREN, TokenKind.COMMA, TokenKind.SEMICOLON,
+                         TokenKind.COLON, TokenKind.MINUS]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- this is a comment <= => entity\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == TokenKind.EOF
+        assert tokenize("x")[-1].kind == TokenKind.EOF
+
+    def test_unexpected_character_raises_with_location(self):
+        with pytest.raises(SpecSyntaxError) as exc:
+            tokenize("a\n  @")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+    def test_minus_only_comment_when_doubled(self):
+        tokens = tokenize("a - b")
+        assert [t.text for t in tokens[:-1]] == ["a", "-", "b"]
+
+    def test_underscore_identifiers(self):
+        tokens = tokenize("band_0 _x")
+        assert [t.text for t in tokens[:-1]] == ["band_0", "_x"]

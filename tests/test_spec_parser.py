@@ -1,0 +1,132 @@
+"""Unit tests for the specification parser."""
+
+import pytest
+
+from repro.spec import (AssignStmt, ProcessStmt, SpecSyntaxError, parse)
+
+MINIMAL = """
+entity tiny is
+  port (
+    x : in  word_vector(16, 4);
+    y : out word_vector(16, 4)
+  );
+end entity tiny;
+
+architecture dataflow of tiny is
+  signal s : word_vector(16, 4);
+begin
+  n0 : process (x)
+    generic map (factor => 3, shift => 1);
+  begin
+    s <= gain(x);
+  end process;
+
+  y <= s;
+end architecture dataflow;
+"""
+
+
+class TestEntityParsing:
+    def test_minimal_roundtrip(self):
+        spec = parse(MINIMAL)
+        assert [e.name for e in spec.entities] == ["tiny"]
+        entity = spec.entities[0]
+        assert [p.name for p in entity.ports] == ["x", "y"]
+        assert entity.ports[0].direction == "in"
+        assert entity.ports[1].direction == "out"
+        assert entity.ports[0].vtype.width == 16
+        assert entity.ports[0].vtype.words == 4
+
+    def test_end_without_repeating_name(self):
+        text = MINIMAL.replace("end entity tiny;", "end;")
+        assert parse(text).entities[0].name == "tiny"
+
+    def test_wrong_closing_name_rejected(self):
+        text = MINIMAL.replace("end entity tiny;", "end entity wrong;")
+        with pytest.raises(SpecSyntaxError):
+            parse(text)
+
+    def test_duplicate_port_rejected(self):
+        text = MINIMAL.replace("y : out", "x : out")
+        with pytest.raises(SpecSyntaxError) as exc:
+            parse(text)
+        assert "duplicate port" in str(exc.value)
+
+    def test_zero_width_rejected(self):
+        text = MINIMAL.replace("word_vector(16, 4)", "word_vector(0, 4)", 1)
+        with pytest.raises(SpecSyntaxError):
+            parse(text)
+
+
+class TestArchitectureParsing:
+    def test_process_fields(self):
+        spec = parse(MINIMAL)
+        arch = spec.architectures[0]
+        assert arch.entity == "tiny"
+        assert len(arch.processes) == 1
+        proc = arch.processes[0]
+        assert isinstance(proc, ProcessStmt)
+        assert proc.label == "n0"
+        assert proc.kind == "gain"
+        assert proc.inputs == ("x",)
+        assert proc.target == "s"
+        assert proc.generic_dict() == {"factor": 3, "shift": 1}
+
+    def test_assign_statement(self):
+        arch = parse(MINIMAL).architectures[0]
+        assert arch.assigns == (AssignStmt("y", "s", arch.assigns[0].line),)
+
+    def test_multi_signal_decl(self):
+        text = MINIMAL.replace("signal s : word_vector(16, 4);",
+                               "signal s, t, u : word_vector(16, 4);")
+        arch = parse(text).architectures[0]
+        assert arch.signal_type("t").words == 4
+        assert arch.signal_type("nope") is None
+
+    def test_tuple_generics(self):
+        text = MINIMAL.replace("factor => 3, shift => 1",
+                               "taps => (1, -2, 3), sets => ((0, 5, 10), (5, 10, 15))")
+        proc = parse(text).architectures[0].processes[0]
+        assert proc.generic_dict()["taps"] == (1, -2, 3)
+        assert proc.generic_dict()["sets"] == ((0, 5, 10), (5, 10, 15))
+
+    def test_negative_generic(self):
+        text = MINIMAL.replace("factor => 3", "factor => -3")
+        proc = parse(text).architectures[0].processes[0]
+        assert proc.generic_dict()["factor"] == -3
+
+    def test_process_without_generics(self):
+        text = MINIMAL.replace(
+            "    generic map (factor => 3, shift => 1);\n", "")
+        proc = parse(text).architectures[0].processes[0]
+        assert proc.generics == ()
+
+    def test_multi_input_process(self):
+        text = """
+entity two is
+  port (a : in word_vector(8, 2); b : in word_vector(8, 2);
+        y : out word_vector(8, 2));
+end entity;
+architecture rtl of two is
+  signal s : word_vector(8, 2);
+begin
+  adder : process (a, b)
+  begin
+    s <= add(a, b);
+  end process;
+  y <= s;
+end architecture;
+"""
+        proc = parse(text).architectures[0].processes[0]
+        assert proc.inputs == ("a", "b")
+
+    def test_missing_semicolon_reports_location(self):
+        text = MINIMAL.replace("y <= s;", "y <= s")
+        with pytest.raises(SpecSyntaxError) as exc:
+            parse(text)
+        assert exc.value.line is not None
+
+    def test_garbage_toplevel_rejected(self):
+        with pytest.raises(SpecSyntaxError) as exc:
+            parse("procedure nope;")
+        assert "expected 'entity' or 'architecture'" in str(exc.value)

@@ -1,0 +1,128 @@
+"""Unit + property tests for memory-cell allocation (paper Fig. 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import four_band_equalizer, random_task_graph
+from repro.estimate import CostModel
+from repro.graph import from_mapping
+from repro.partition.feasibility import edge_memory_words
+from repro.platform import (Bus, MemoryDevice, TargetArchitecture, cool_board,
+                            dsp56001, minimal_board, xc4005)
+from repro.schedule import list_schedule
+from repro.stg import MemoryError, allocate_memory, memory_map_text
+
+
+def scheduled(graph, arch, hw_nodes=()):
+    mapping = {}
+    for node in graph.internal_nodes():
+        mapping[node.name] = arch.fpga_names[0] if node.name in hw_nodes \
+            else arch.processor_names[0]
+    partition = from_mapping(graph, mapping, arch.fpga_names,
+                             arch.processor_names)
+    return list_schedule(partition, CostModel(graph, arch))
+
+
+@pytest.fixture(scope="module")
+def equalizer_schedule():
+    return scheduled(four_band_equalizer(words=8), minimal_board(),
+                     {"band0", "gain0", "band2"})
+
+
+class TestAllocation:
+    def test_every_cut_edge_gets_a_cell(self, equalizer_schedule):
+        schedule = equalizer_schedule
+        arch = minimal_board()
+        memory_map = allocate_memory(schedule, arch)
+        cut = {e.name for e in schedule.partition.cut_edges()}
+        assert set(memory_map.cells) == cut
+
+    def test_local_edges_get_no_cell(self, equalizer_schedule):
+        memory_map = allocate_memory(equalizer_schedule, minimal_board())
+        local = {e.name for e in equalizer_schedule.partition.local_edges()}
+        assert not local & set(memory_map.cells)
+
+    def test_addresses_start_at_base(self, equalizer_schedule):
+        arch = minimal_board()
+        memory_map = allocate_memory(equalizer_schedule, arch)
+        addresses = [c.address for c in memory_map.cells.values()]
+        assert min(addresses) == arch.memory.base_address
+
+    def test_cell_sizes_match_payload(self, equalizer_schedule):
+        arch = minimal_board()
+        memory_map = allocate_memory(equalizer_schedule, arch)
+        for edge in equalizer_schedule.partition.cut_edges():
+            assert memory_map.cell(edge.name).words == \
+                edge_memory_words(edge, arch)
+
+    def test_validates_clean(self, equalizer_schedule):
+        memory_map = allocate_memory(equalizer_schedule, minimal_board())
+        assert memory_map.validate() == []
+
+    def test_reuse_never_worse_than_naive(self, equalizer_schedule):
+        arch = minimal_board()
+        with_reuse = allocate_memory(equalizer_schedule, arch, reuse=True)
+        naive = allocate_memory(equalizer_schedule, arch, reuse=False)
+        assert with_reuse.words_used <= naive.words_used
+
+    def test_reuse_actually_shares_addresses(self, equalizer_schedule):
+        # the schedule serializes transfers, so disjoint lifetimes exist
+        arch = minimal_board()
+        with_reuse = allocate_memory(equalizer_schedule, arch, reuse=True)
+        naive = allocate_memory(equalizer_schedule, arch, reuse=False)
+        assert with_reuse.words_used < naive.words_used
+
+    def test_too_small_memory_raises(self, equalizer_schedule):
+        tiny = TargetArchitecture(
+            "tiny_board",
+            processors=(dsp56001("dsp0"),),
+            fpgas=(xc4005("fpga0"),),
+            memory=MemoryDevice("sram", 8, base_address=0x1000,
+                                word_bytes=2),
+            bus=Bus("sysbus", width_bits=16, clock_hz=10e6,
+                    cycles_per_word=1),
+        )
+        with pytest.raises(MemoryError):
+            allocate_memory(equalizer_schedule, tiny)
+
+    def test_missing_cell_lookup_raises(self, equalizer_schedule):
+        memory_map = allocate_memory(equalizer_schedule, minimal_board())
+        with pytest.raises(MemoryError):
+            memory_map.cell("not_an_edge")
+
+    def test_memory_map_text(self, equalizer_schedule):
+        memory_map = allocate_memory(equalizer_schedule, minimal_board())
+        text = memory_map_text(memory_map)
+        assert "memory map" in text
+        assert "0x" in text
+
+    def test_deterministic(self, equalizer_schedule):
+        a = allocate_memory(equalizer_schedule, minimal_board())
+        b = allocate_memory(equalizer_schedule, minimal_board())
+        assert {k: (c.address, c.words) for k, c in a.cells.items()} == \
+            {k: (c.address, c.words) for k, c in b.cells.items()}
+
+
+class TestAllocationPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=8, max_value=32),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    def test_random_allocations_valid_and_reuse_wins(self, n, gseed, pseed):
+        graph = random_task_graph(n, seed=gseed)
+        arch = cool_board()
+        rng = random.Random(pseed)
+        mapping = {node.name: rng.choice(arch.resource_names)
+                   for node in graph.internal_nodes()}
+        partition = from_mapping(graph, mapping, arch.fpga_names,
+                                 arch.processor_names)
+        schedule = list_schedule(partition, CostModel(graph, arch))
+        with_reuse = allocate_memory(schedule, arch, reuse=True)
+        naive = allocate_memory(schedule, arch, reuse=False)
+        assert with_reuse.validate() == []
+        assert naive.validate() == []
+        assert with_reuse.words_used <= naive.words_used
+        assert set(with_reuse.cells) == {e.name for e in
+                                         partition.cut_edges()}

@@ -1,0 +1,185 @@
+"""Unit tests for repro.graph.taskgraph."""
+
+import pytest
+
+from repro.graph import (DataEdge, GraphError, TaskGraph, linear_chain,
+                         make_node)
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph("diamond")
+    g.add_node(name="in0", kind="input", words=4)
+    g.add_node(name="a", kind="copy", words=4)
+    g.add_node(name="b", kind="gain", params={"factor": 2}, words=4)
+    g.add_node(name="c", kind="add", words=4)
+    g.add_node(name="out0", kind="output", words=4)
+    g.add_edge("in0", "a")
+    g.add_edge("in0", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "c")
+    g.add_edge("c", "out0")
+    return g
+
+
+class TestNodeConstruction:
+    def test_make_node_params_roundtrip(self):
+        node = make_node("n", "gain", {"factor": 3, "shift": 1})
+        assert node.params == {"factor": 3, "shift": 1}
+
+    def test_node_is_hashable(self):
+        node = make_node("n", "fir", {"taps": (1, 2, 1)})
+        assert {node: 1}[node] == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            make_node("", "copy")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(GraphError):
+            make_node("n", "copy", width=0)
+
+    def test_bad_words_rejected(self):
+        with pytest.raises(GraphError):
+            make_node("n", "copy", words=-1)
+
+    def test_io_flags(self):
+        assert make_node("i", "input").is_input
+        assert make_node("o", "output").is_output
+        assert make_node("i", "input").is_io
+        assert not make_node("n", "copy").is_io
+
+    def test_bits(self):
+        assert make_node("n", "copy", width=16, words=4).bits == 64
+
+
+class TestGraphConstruction:
+    def test_add_duplicate_node_rejected(self):
+        g = TaskGraph()
+        g.add_node(name="a", kind="copy")
+        with pytest.raises(GraphError):
+            g.add_node(name="a", kind="copy")
+
+    def test_edge_unknown_endpoint_rejected(self):
+        g = TaskGraph()
+        g.add_node(name="a", kind="copy")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "missing")
+        with pytest.raises(GraphError):
+            g.add_edge("missing", "a")
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph()
+        g.add_node(name="a", kind="copy")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_edge_inherits_producer_shape(self):
+        g = TaskGraph()
+        g.add_node(name="a", kind="copy", width=24, words=7)
+        g.add_node(name="b", kind="copy", width=24, words=7)
+        edge = g.add_edge("a", "b")
+        assert (edge.width, edge.words) == (24, 7)
+        assert edge.bits == 24 * 7
+
+    def test_port_autoassignment(self):
+        g = diamond()
+        ports = [e.dst_port for e in g.in_edges("c")]
+        assert ports == [0, 1]
+
+    def test_duplicate_port_rejected(self):
+        g = TaskGraph()
+        for n in ("a", "b", "c"):
+            g.add_node(name=n, kind="copy")
+        g.add_edge("a", "c", dst_port=0)
+        with pytest.raises(GraphError):
+            g.add_edge("b", "c", dst_port=0)
+
+    def test_edge_name_is_stable(self):
+        e = DataEdge("a", "b", 0, 16, 2)
+        assert e.name == "a__to__b_p0"
+
+
+class TestGraphQueries:
+    def test_len_and_contains(self):
+        g = diamond()
+        assert len(g) == 5
+        assert "a" in g and "zz" not in g
+
+    def test_predecessors_ordered_by_port(self):
+        g = diamond()
+        assert g.predecessors("c") == ["a", "b"]
+
+    def test_successors(self):
+        g = diamond()
+        assert sorted(g.successors("in0")) == ["a", "b"]
+
+    def test_sources_and_sinks(self):
+        g = diamond()
+        assert g.sources() == ["in0"]
+        assert g.sinks() == ["out0"]
+
+    def test_inputs_outputs_internal(self):
+        g = diamond()
+        assert [n.name for n in g.inputs()] == ["in0"]
+        assert [n.name for n in g.outputs()] == ["out0"]
+        assert [n.name for n in g.internal_nodes()] == ["a", "b", "c"]
+
+    def test_unknown_node_query_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.node("nope")
+        with pytest.raises(GraphError):
+            g.in_edges("nope")
+
+    def test_edge_between(self):
+        g = diamond()
+        assert len(g.edge_between("in0", "a")) == 1
+        assert g.edge_between("a", "b") == []
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges:
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        for n in ("a", "b"):
+            g.add_node(name=n, kind="copy")
+        g.add_edge("a", "b")
+        # force a cycle through the internals (add_edge would allow it)
+        g.add_edge("b", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+    def test_depth(self):
+        g = diamond()
+        assert g.depth() == 4  # in0 -> a/b -> c -> out0
+
+    def test_reachable_from(self):
+        g = diamond()
+        assert g.reachable_from("in0") == {"a", "b", "c", "out0"}
+        assert g.reachable_from("c") == {"out0"}
+
+    def test_linear_chain_helper(self):
+        g = linear_chain(["copy", "copy", "copy"])
+        assert len(g) == 5
+        assert g.depth() == 5
+
+    def test_copy_is_deep_on_structure(self):
+        g = diamond()
+        dup = g.copy()
+        dup.add_node(name="extra", kind="copy")
+        assert "extra" not in g
+        assert len(dup.edges) == len(g.edges)
+
+    def test_stats(self):
+        stats = diamond().stats()
+        assert stats["nodes"] == 5
+        assert stats["edges"] == 5
+        assert stats["internal"] == 3
+        assert stats["depth"] == 4

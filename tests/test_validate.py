@@ -1,0 +1,72 @@
+"""Unit tests for repro.graph.validate."""
+
+import pytest
+
+from repro.graph import GraphError, TaskGraph, check_graph, validate_graph
+
+
+def valid_graph() -> TaskGraph:
+    g = TaskGraph("ok")
+    g.add_node(name="in0", kind="input", words=2)
+    g.add_node(name="n", kind="gain", params={"factor": 2}, words=2)
+    g.add_node(name="out0", kind="output", words=2)
+    g.add_edge("in0", "n")
+    g.add_edge("n", "out0")
+    return g
+
+
+class TestValidate:
+    def test_valid_graph_has_no_problems(self):
+        assert validate_graph(valid_graph()) == []
+        check_graph(valid_graph())  # must not raise
+
+    def test_arity_mismatch_detected(self):
+        g = valid_graph()
+        g.add_node(name="adder", kind="add", words=2)
+        g.add_edge("n", "adder")  # add needs 2 inputs, gets 1
+        problems = validate_graph(g)
+        assert any("adder" in p and "requires 2" in p for p in problems)
+
+    def test_unknown_kind_detected(self):
+        g = valid_graph()
+        g.add_node(name="x", kind="warp_drive")
+        problems = validate_graph(g)
+        assert any("warp_drive" in p for p in problems)
+
+    def test_missing_inputs_detected(self):
+        g = TaskGraph()
+        g.add_node(name="out0", kind="output", words=1)
+        problems = validate_graph(g)
+        assert any("no input nodes" in p for p in problems)
+
+    def test_unreachable_node_detected(self):
+        g = valid_graph()
+        g.add_node(name="island", kind="generic")
+        problems = validate_graph(g)
+        assert any("island" in p and "unreachable" in p for p in problems)
+
+    def test_noncontiguous_ports_detected(self):
+        g = TaskGraph()
+        g.add_node(name="in0", kind="input", words=1)
+        g.add_node(name="in1", kind="input", words=1)
+        g.add_node(name="a", kind="add", words=1)
+        g.add_node(name="out0", kind="output", words=1)
+        g.add_edge("in0", "a", dst_port=0)
+        g.add_edge("in1", "a", dst_port=2)  # gap: port 1 missing
+        g.add_edge("a", "out0")
+        problems = validate_graph(g)
+        assert any("not contiguous" in p for p in problems)
+
+    def test_check_graph_raises_with_details(self):
+        g = TaskGraph()
+        g.add_node(name="out0", kind="output", words=1)
+        with pytest.raises(GraphError) as exc:
+            check_graph(g)
+        assert "no input nodes" in str(exc.value)
+
+    def test_output_with_successor_detected(self):
+        g = valid_graph()
+        g.add_node(name="tail", kind="copy", words=2)
+        g.add_edge("out0", "tail")
+        problems = validate_graph(g)
+        assert any("out0" in p and "successors" in p for p in problems)
