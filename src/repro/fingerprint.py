@@ -1,0 +1,23 @@
+"""Shared content-hash helper behind every ``fingerprint()`` hook.
+
+Task graphs, partitions, schedules, STGs, architectures and
+partitioners all expose a ``fingerprint()`` used by the flow pipeline
+(:mod:`repro.flow.pipeline`) as cache keys.  They all reduce their
+content to a canonical payload and hash it here, so the digest choice
+and truncation width live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["content_hash"]
+
+#: Hex digits kept from the digest: 64 bits, plenty for cache keys.
+FINGERPRINT_LENGTH = 16
+
+
+def content_hash(payload: object) -> str:
+    """Hash ``repr(payload)``; the payload must be deterministic."""
+    digest = hashlib.sha256(repr(payload).encode())
+    return digest.hexdigest()[:FINGERPRINT_LENGTH]

@@ -1,8 +1,17 @@
-"""The end-to-end COOL design flow (paper Fig. 1)."""
+"""The end-to-end COOL design flow (paper Fig. 1) and its pipeline engine."""
 
-from .cool import CoolFlow, FlowResult
+from .pipeline import (FlowContext, PipelineError, PipelineExecutor, Stage,
+                       StageCache, fingerprint_of, stage_timer)
+from .cool import CoolFlow, FlowResult, build_flow_stages, \
+    select_eviction_victim
+from .batch import (BatchRunner, DesignPoint, DesignSpaceExplorer,
+                    ExplorationResult, FlowJob, JobOutcome)
 from .timing import (DesignTimeModel, DesignTimeReport,
                      SYNTHESIS_SECONDS_PER_CLB)
 
-__all__ = ["CoolFlow", "FlowResult", "DesignTimeModel", "DesignTimeReport",
-           "SYNTHESIS_SECONDS_PER_CLB"]
+__all__ = ["CoolFlow", "FlowResult", "build_flow_stages",
+           "select_eviction_victim", "DesignTimeModel", "DesignTimeReport",
+           "SYNTHESIS_SECONDS_PER_CLB", "Stage", "FlowContext",
+           "PipelineExecutor", "PipelineError", "StageCache", "stage_timer",
+           "fingerprint_of", "BatchRunner", "FlowJob", "JobOutcome",
+           "DesignPoint", "ExplorationResult", "DesignSpaceExplorer"]

@@ -1,0 +1,315 @@
+"""Parallel batch execution and design-space exploration for the flow.
+
+The ROADMAP north-star is throughput across many designs and scenarios;
+the map-reduce shape of parallel controller synthesis (Alimguzhin et
+al.) fits the COOL flow directly because every (graph, architecture,
+partitioner, options) job is independent:
+
+* :class:`FlowJob` -- one fully-specified flow invocation;
+* :class:`BatchRunner` -- fans a job list across
+  :mod:`concurrent.futures` workers (threads by default, processes or
+  strictly serial on request) and returns per-job outcomes in input
+  order, isolating failures so one bad design cannot sink a sweep;
+* :class:`DesignSpaceExplorer` -- sweeps partitioners x deadlines x
+  architectures over one task graph and ranks the implementations on
+  the classic co-design Pareto axes: makespan, CLB area, communication
+  memory words.
+
+Jobs deep-copy their partitioner before running so stateful engines
+(e.g. the genetic algorithm's RNG) start identically whether the batch
+runs serially or on four workers -- batch results are reproducible by
+construction.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Mapping, Sequence
+
+from ..graph.taskgraph import TaskGraph
+from ..partition.base import Partitioner
+from ..platform.architecture import TargetArchitecture
+from .cool import CoolFlow, FlowResult
+
+__all__ = ["FlowJob", "JobOutcome", "BatchRunner", "DesignPoint",
+           "ExplorationResult", "DesignSpaceExplorer"]
+
+
+@dataclass(frozen=True)
+class FlowJob:
+    """One flow invocation: design, target, engine and options."""
+
+    graph: TaskGraph
+    arch: TargetArchitecture
+    partitioner: Partitioner | None = None
+    deadline: int | None = None
+    stimuli: Mapping[str, list[int]] | None = None
+    reuse_memory: bool = True
+    allow_direct_comm: bool = True
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        """Display name: the label, or graph@arch."""
+        if self.label:
+            return self.label
+        algo = self.partitioner.name if self.partitioner is not None \
+            else "milp"
+        return f"{self.graph.name}@{self.arch.name}/{algo}"
+
+
+@dataclass
+class JobOutcome:
+    """Result (or failure) of one batch job."""
+
+    job: FlowJob
+    result: FlowResult | None = None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_job(job: FlowJob) -> FlowResult:
+    """Execute one job in a fresh flow (module-level for process pools)."""
+    partitioner = copy.deepcopy(job.partitioner) \
+        if job.partitioner is not None else None
+    flow = CoolFlow(job.arch, partitioner=partitioner,
+                    reuse_memory=job.reuse_memory,
+                    allow_direct_comm=job.allow_direct_comm)
+    return flow.run(job.graph, stimuli=job.stimuli, deadline=job.deadline)
+
+
+def _run_outcome(job: FlowJob) -> JobOutcome:
+    started = time.perf_counter()
+    try:
+        result = _run_job(job)
+    except Exception as exc:  # isolate failures per job
+        return JobOutcome(job, error=f"{type(exc).__name__}: {exc}",
+                          seconds=time.perf_counter() - started)
+    return JobOutcome(job, result=result,
+                      seconds=time.perf_counter() - started)
+
+
+class BatchRunner:
+    """Run many flow jobs, optionally in parallel.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count for the pool backends; ``None`` lets
+        :mod:`concurrent.futures` pick.
+    backend:
+        ``"thread"`` (default), ``"process"`` (jobs and results must be
+        picklable) or ``"serial"``.
+
+    Note on speed: the flow is pure Python, so threads serialize on the
+    GIL, and a process pool must pickle every (large) ``FlowResult``
+    back -- for the bundled workloads both pools measure *slower* than
+    ``"serial"`` (see ``BENCH_flow_pipeline.json``).  Choose the
+    backend for orchestration semantics -- per-job failure isolation
+    and deterministic fan-out -- and reach for ``"process"`` only when
+    per-job compute (e.g. the bnb MILP backend, minute-scale solves)
+    dwarfs the result-pickling cost.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 backend: str = "thread") -> None:
+        if backend not in ("thread", "process", "serial"):
+            raise ValueError(f"unknown batch backend {backend!r}")
+        self.max_workers = max_workers
+        self.backend = backend
+
+    def run(self, jobs: Iterable[FlowJob]) -> list[JobOutcome]:
+        """Execute all jobs; outcomes come back in input order."""
+        jobs = list(jobs)
+        if (self.backend == "serial" or len(jobs) <= 1
+                or (self.max_workers is not None and self.max_workers <= 1)):
+            return [_run_outcome(job) for job in jobs]
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" \
+            else ProcessPoolExecutor
+        with pool_cls(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_outcome, jobs))
+
+
+# ----------------------------------------------------------------------
+# design-space exploration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignPoint:
+    """One implementation in the explored space, reduced to its metrics."""
+
+    label: str
+    algorithm: str
+    arch: str
+    deadline: int | None
+    makespan: int
+    total_clbs: int
+    memory_words: int
+    hw_nodes: int
+    sw_nodes: int
+    feasible: bool
+    area_repairs: int = 0
+
+    @property
+    def metrics(self) -> tuple[int, int, int]:
+        """The minimized objective vector (makespan, CLBs, memory)."""
+        return (self.makespan, self.total_clbs, self.memory_words)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on every axis, better on one."""
+        return (all(a <= b for a, b in zip(self.metrics, other.metrics))
+                and self.metrics != other.metrics)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one design-space sweep."""
+
+    points: list[DesignPoint] = field(default_factory=list)
+    failures: list[JobOutcome] = field(default_factory=list)
+    outcomes: list[JobOutcome] = field(default_factory=list)
+
+    def feasible_points(self) -> list[DesignPoint]:
+        """Implementations that meet all their constraints."""
+        return [p for p in self.points if p.feasible]
+
+    def pareto(self) -> list[DesignPoint]:
+        """The non-dominated *feasible* implementations.
+
+        An implementation that violates its own constraints (deadline,
+        area, memory) is not a design anyone can pick, however good its
+        metrics look, so infeasible points never enter the front.
+        """
+        feasible = self.feasible_points()
+        return [p for p in feasible
+                if not any(q.dominates(p) for q in feasible)]
+
+    def ranked(self, front: set[DesignPoint] | None = None
+               ) -> list[DesignPoint]:
+        """All points: feasible before infeasible, Pareto front first,
+        each tier by normalized score."""
+        if front is None:
+            front = set(self.pareto())
+        worst = [max((p.metrics[axis] for p in self.points), default=0)
+                 for axis in range(3)]
+
+        def score(point: DesignPoint) -> float:
+            return sum(point.metrics[axis] / worst[axis]
+                       for axis in range(3) if worst[axis])
+
+        return sorted(self.points,
+                      key=lambda p: (not p.feasible, p not in front,
+                                     score(p), p.label))
+
+    def table(self) -> str:
+        """Ranked text table (Pareto points ``*``, infeasible ``!``)."""
+        front = set(self.pareto())
+        ranked = self.ranked(front)
+        header = (f"{'':2} {'label':<28} {'algorithm':<14} {'deadline':>8} "
+                  f"{'makespan':>8} {'CLBs':>6} {'mem[w]':>7} {'hw/sw':>6}")
+        lines = [header, "-" * len(header)]
+        for point in ranked:
+            mark = "*" if point in front else \
+                ("!" if not point.feasible else " ")
+            deadline = point.deadline if point.deadline is not None else "-"
+            lines.append(
+                f"{mark:2} {point.label:<28} {point.algorithm:<14} "
+                f"{deadline!s:>8} {point.makespan:>8} {point.total_clbs:>6} "
+                f"{point.memory_words:>7} "
+                f"{point.hw_nodes}/{point.sw_nodes:<4}")
+        for failure in self.failures:
+            lines.append(f"!  {failure.job.name:<28} failed: {failure.error}")
+        return "\n".join(lines)
+
+
+def _point_from(outcome: JobOutcome) -> DesignPoint:
+    result = outcome.result
+    assert result is not None
+    summary = result.partition_result.summary()
+    return DesignPoint(
+        label=outcome.job.name,
+        algorithm=summary["algorithm"],
+        arch=result.arch.name,
+        deadline=outcome.job.deadline,
+        makespan=result.makespan,
+        total_clbs=sum(result.clbs_per_fpga.values()),
+        memory_words=result.plan.memory_map.words_used,
+        hw_nodes=summary["hw_nodes"],
+        sw_nodes=summary["sw_nodes"],
+        feasible=result.partition_result.feasibility.feasible,
+        area_repairs=result.partition_result.stats.get("area_repairs", 0),
+    )
+
+
+class DesignSpaceExplorer:
+    """Sweep partitioners x deadlines x architectures over one graph.
+
+    ``explore()`` fans the cross-product through a :class:`BatchRunner`
+    and reduces every successful implementation to a
+    :class:`DesignPoint`; the :class:`ExplorationResult` ranks them and
+    computes the Pareto front over (makespan, CLB area, memory words).
+    """
+
+    def __init__(self, graph: TaskGraph,
+                 architectures: Sequence[TargetArchitecture],
+                 partitioners: Sequence[Partitioner],
+                 deadlines: Sequence[int | None] = (None,),
+                 runner: BatchRunner | None = None) -> None:
+        if not architectures or not partitioners:
+            raise ValueError("need at least one architecture and partitioner")
+        self.graph = graph
+        self.architectures = list(architectures)
+        self.partitioners = list(partitioners)
+        self.deadlines = list(deadlines) or [None]
+        self.runner = runner if runner is not None else BatchRunner()
+
+    def _partitioner_labels(self) -> list[str]:
+        """One display name per partitioner, disambiguated on collision.
+
+        Two instances of the same engine with different configuration
+        (e.g. ``GreedyPartitioner()`` and ``GreedyPartitioner(max_moves=3)``)
+        share a ``name``; suffix an index so their design points stay
+        distinguishable in the ranked table.
+        """
+        counts: dict[str, int] = {}
+        for p in self.partitioners:
+            counts[p.name] = counts.get(p.name, 0) + 1
+        seen: dict[str, int] = {}
+        labels = []
+        for p in self.partitioners:
+            if counts[p.name] > 1:
+                seen[p.name] = seen.get(p.name, 0) + 1
+                labels.append(f"{p.name}#{seen[p.name]}")
+            else:
+                labels.append(p.name)
+        return labels
+
+    def jobs(self) -> list[FlowJob]:
+        labels = self._partitioner_labels()
+        out = []
+        for arch, (partitioner, plabel), deadline in product(
+                self.architectures, zip(self.partitioners, labels),
+                self.deadlines):
+            tag = f"@{deadline}" if deadline is not None else ""
+            out.append(FlowJob(
+                graph=self.graph, arch=arch, partitioner=partitioner,
+                deadline=deadline,
+                label=f"{arch.name}/{plabel}{tag}"))
+        return out
+
+    def explore(self) -> ExplorationResult:
+        outcomes = self.runner.run(self.jobs())
+        result = ExplorationResult(outcomes=outcomes)
+        for outcome in outcomes:
+            if outcome.ok:
+                result.points.append(_point_from(outcome))
+            else:
+                result.failures.append(outcome)
+        return result

@@ -1,0 +1,366 @@
+"""Stage-graph pipeline engine underlying the COOL flow.
+
+The paper's design flow (Fig. 1) is a staged pipeline: partitioning,
+co-synthesis, controller synthesis, HLS, code generation.  This module
+gives that structure a first-class runtime:
+
+* :class:`Stage` -- one pipeline step with *declared* input and output
+  artifact keys and a pure ``run(ctx)`` body;
+* :class:`FlowContext` -- a typed artifact store that records a content
+  fingerprint for every artifact at insertion time (``TaskGraph``,
+  ``Partition``, ``Schedule``, ``Stg`` and ``TargetArchitecture`` all
+  provide stable ``fingerprint()`` hooks);
+* :class:`PipelineExecutor` -- a demand-driven executor: requesting a
+  set of output keys runs exactly the stages whose fingerprinted inputs
+  changed since they last ran, skipping everything that is still fresh;
+* :class:`StageCache` -- an optional cross-run memo of stage outputs
+  keyed by ``(stage name, input fingerprints)`` so re-running the flow
+  on an unchanged (graph, architecture) pair costs a dictionary lookup.
+
+Artifacts are treated as immutable once stored: a stage must never
+mutate an input in place, it returns fresh outputs instead.  The
+executor relies on that contract -- fingerprints are computed once at
+``put`` time and cached stage outputs are shared by reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from itertools import count
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..fingerprint import content_hash
+
+__all__ = ["PipelineError", "stage_timer", "fingerprint_of", "Stage",
+           "FlowContext", "StageCache", "PipelineExecutor"]
+
+
+class PipelineError(RuntimeError):
+    """Raised for malformed pipelines: missing inputs, bad stage outputs."""
+
+
+@contextmanager
+def stage_timer(stage: str, sink: dict[str, float]) -> Iterator[None]:
+    """Accumulate the wall-clock seconds of the ``with`` body into ``sink``.
+
+    Repeated entries for the same stage add up, so a driver loop that
+    revisits a stage reports the total time spent in it -- the same
+    semantics the old ad-hoc ``_Timer`` inner class of ``CoolFlow.run``
+    had, now shared by the pipeline executor and the flow driver.
+    """
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[stage] = sink.get(stage, 0.0) + time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# content fingerprints
+# ----------------------------------------------------------------------
+def fingerprint_of(value: Any) -> str:
+    """Content fingerprint of an artifact.
+
+    Objects exposing a ``fingerprint()`` method (task graphs, partitions,
+    schedules, STGs, architectures, partitioners) are asked directly;
+    plain containers and dataclasses are hashed structurally.  Anything
+    else falls back to an identity token drawn from a monotonic
+    registry: unlike a raw ``id()``, a token is never reused for a
+    different object, so a stale cache key can never alias a new
+    artifact that happens to land on a recycled address.
+    """
+    hook = getattr(value, "fingerprint", None)
+    if callable(hook):
+        return hook()
+    return content_hash(_canonical(value))
+
+
+def _canonical(value: Any) -> str:
+    """Deterministic string form of ``value`` for hashing."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return f"{type(value).__name__}:{value!r}"
+    hook = getattr(value, "fingerprint", None)
+    if callable(hook):
+        return f"fp:{hook()}"
+    if isinstance(value, Enum):
+        return f"enum:{type(value).__qualname__}.{value.name}"
+    if isinstance(value, (tuple, list)):
+        body = ",".join(_canonical(v) for v in value)
+        return f"{type(value).__name__}[{body}]"
+    if isinstance(value, (set, frozenset)):
+        body = ",".join(sorted(_canonical(v) for v in value))
+        return f"set[{body}]"
+    if isinstance(value, Mapping):
+        items = sorted((_canonical(k), _canonical(v))
+                       for k, v in value.items())
+        body = ",".join(f"{k}={v}" for k, v in items)
+        return f"map[{body}]"
+    if is_dataclass(value) and not isinstance(value, type):
+        body = ",".join(f"{f.name}={_canonical(getattr(value, f.name))}"
+                        for f in fields(value))
+        return f"{type(value).__qualname__}({body})"
+    return f"@{type(value).__qualname__}:{_identity_token(value)}"
+
+
+_IDENTITY_COUNTER = count()
+_identity_registry: dict[int, tuple[int, Callable[[], Any]]] = {}
+_identity_lock = threading.Lock()
+
+
+def _identity_token(value: Any) -> int:
+    """A process-unique token for ``value``, never reused after its death.
+
+    Weakref-able objects are tracked with a finalizer that retires the
+    token when they are collected; objects that cannot be weak-referenced
+    are pinned by the registry instead, which equally guarantees their
+    token (and address) outlives every cache key mentioning it.
+    """
+    key = id(value)
+    with _identity_lock:
+        entry = _identity_registry.get(key)
+        if entry is not None and entry[1]() is value:
+            return entry[0]
+        token = next(_IDENTITY_COUNTER)
+        try:
+            ref: Callable[[], Any] = weakref.ref(
+                value, lambda _, key=key: _identity_registry.pop(key, None))
+        except TypeError:
+            ref = (lambda value=value: value)  # pin: id can never recycle
+        _identity_registry[key] = (token, ref)
+        return token
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+class FlowContext:
+    """Typed artifact store with content fingerprints.
+
+    Keys are artifact names (``"graph"``, ``"schedule"``, ...); the
+    fingerprint of each artifact is computed once when it is stored and
+    is what the executor compares to decide whether a stage must re-run.
+    """
+
+    def __init__(self, **artifacts: Any) -> None:
+        self._values: dict[str, Any] = {}
+        self._fingerprints: dict[str, str] = {}
+        for key, value in artifacts.items():
+            self.put(key, value)
+
+    def put(self, key: str, value: Any) -> None:
+        """Store (or replace) an artifact, fingerprinting its content."""
+        self._values[key] = value
+        self._fingerprints[key] = fingerprint_of(value)
+
+    def put_fingerprinted(self, key: str, value: Any,
+                          fingerprint: str) -> None:
+        """Store an artifact whose fingerprint is already known (cache)."""
+        self._values[key] = value
+        self._fingerprints[key] = fingerprint
+
+    def get(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise PipelineError(f"unknown artifact {key!r}") from None
+
+    def fingerprint(self, key: str) -> str:
+        try:
+            return self._fingerprints[key]
+        except KeyError:
+            raise PipelineError(f"unknown artifact {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def keys(self) -> list[str]:
+        return list(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowContext({sorted(self._values)})"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline step with declared inputs and outputs.
+
+    ``run(ctx)`` must be pure with respect to the declared ``inputs``:
+    it reads them from the context and returns a mapping containing at
+    least every declared output key.  Undeclared reads break caching.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    run: Callable[[FlowContext], Mapping[str, Any]]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise PipelineError(f"stage {self.name!r} declares no outputs")
+
+
+class StageCache:
+    """Cross-run LRU memo: ``(stage, input fingerprints) -> outputs``.
+
+    Cached output values are shared by reference between runs, which is
+    safe because pipeline artifacts are immutable by contract.  The
+    cache is lock-protected so a :class:`~repro.flow.batch.BatchRunner`
+    can share one instance across worker threads.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise PipelineError("stage cache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, dict[str, tuple[Any, str]]] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, stage: str,
+            signature: tuple[str, ...]) -> dict[str, tuple[Any, str]] | None:
+        key = (stage, signature)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, stage: str, signature: tuple[str, ...],
+            outputs: dict[str, tuple[Any, str]]) -> None:
+        key = (stage, signature)
+        with self._lock:
+            self._entries[key] = outputs
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PipelineExecutor:
+    """Demand-driven executor over an ordered list of stages.
+
+    ``request(ctx, keys)`` walks the stage list backwards from the
+    requested artifact keys to find the producing stages, then executes
+    them in declared order.  A stage actually runs only when the
+    fingerprints of its inputs differ from the last execution; otherwise
+    its previous outputs (still in the context, or in the cross-run
+    :class:`StageCache`) are reused.  ``stage_runs`` counts real
+    executions, ``stage_seconds`` accumulates wall-clock per stage --
+    cache hits cost only their lookup time.
+    """
+
+    def __init__(self, stages: Iterable[Stage],
+                 cache: StageCache | None = None) -> None:
+        self._order: list[Stage] = []
+        self._producer: dict[str, Stage] = {}
+        self._by_name: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self._by_name:
+                raise PipelineError(f"duplicate stage name {stage.name!r}")
+            for key in stage.outputs:
+                if key in self._producer:
+                    raise PipelineError(
+                        f"artifact {key!r} produced by both "
+                        f"{self._producer[key].name!r} and {stage.name!r}")
+                self._producer[key] = stage
+            self._by_name[stage.name] = stage
+            self._order.append(stage)
+        self.cache = cache
+        self.stage_seconds: dict[str, float] = {}
+        self.stage_runs: dict[str, int] = {s.name: 0 for s in self._order}
+        self.cache_hits: dict[str, int] = {s.name: 0 for s in self._order}
+        self._last_inputs: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def request(self, ctx: FlowContext, outputs: Iterable[str]) -> None:
+        """Bring every requested artifact up to date in ``ctx``."""
+        outputs = list(outputs)
+        unknown = [k for k in outputs
+                   if k not in self._producer and k not in ctx]
+        if unknown:
+            raise PipelineError(f"no stage produces requested artifacts "
+                                f"{unknown}")
+        needed_keys = set(outputs)
+        needed: list[Stage] = []
+        for stage in reversed(self._order):
+            if needed_keys & set(stage.outputs):
+                needed.append(stage)
+                needed_keys |= set(stage.inputs)
+        for stage in reversed(needed):
+            self._execute(ctx, stage)
+
+    def commit_outputs(self, ctx: FlowContext, stage_name: str) -> None:
+        """Overwrite the cache entry of a stage with the context's artifacts.
+
+        For drivers that *refine* a stage's outputs after running it
+        (the HLS area-repair loop replaces the partitioning results with
+        the converged mapping): committing stores the refined artifacts
+        under the stage's current input signature, so the next run with
+        the same inputs is served the converged solution directly
+        instead of repeating the refinement.
+        """
+        try:
+            stage = self._by_name[stage_name]
+        except KeyError:
+            raise PipelineError(f"unknown stage {stage_name!r}") from None
+        signature = self._signature(ctx, stage)
+        self._last_inputs[stage.name] = signature
+        if self.cache is not None:
+            self.cache.put(stage.name, signature,
+                           {k: (ctx.get(k), ctx.fingerprint(k))
+                            for k in stage.outputs})
+
+    # ------------------------------------------------------------------
+    def _signature(self, ctx: FlowContext, stage: Stage) -> tuple[str, ...]:
+        missing = [k for k in stage.inputs
+                   if k not in ctx and k not in self._producer]
+        if missing:
+            raise PipelineError(f"stage {stage.name!r}: missing inputs "
+                                f"{missing} (not in context, no producer)")
+        return tuple(ctx.fingerprint(k) for k in stage.inputs)
+
+    def _execute(self, ctx: FlowContext, stage: Stage) -> None:
+        signature = self._signature(ctx, stage)
+        if (self._last_inputs.get(stage.name) == signature
+                and all(k in ctx for k in stage.outputs)):
+            return  # still fresh from an earlier request of this run
+        if self.cache is not None:
+            cached = self.cache.get(stage.name, signature)
+            if cached is not None:
+                with stage_timer(stage.name, self.stage_seconds):
+                    for key, (value, fp) in cached.items():
+                        ctx.put_fingerprinted(key, value, fp)
+                self._last_inputs[stage.name] = signature
+                self.cache_hits[stage.name] += 1
+                return
+        with stage_timer(stage.name, self.stage_seconds):
+            produced = stage.run(ctx)
+        missing = [k for k in stage.outputs if k not in produced]
+        if missing:
+            raise PipelineError(f"stage {stage.name!r} did not produce "
+                                f"declared outputs {missing}")
+        for key in stage.outputs:
+            ctx.put(key, produced[key])
+        self._last_inputs[stage.name] = signature
+        self.stage_runs[stage.name] = self.stage_runs.get(stage.name, 0) + 1
+        if self.cache is not None:
+            self.cache.put(stage.name, signature,
+                           {k: (ctx.get(k), ctx.fingerprint(k))
+                            for k in stage.outputs})

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from ..fingerprint import content_hash
 from .taskgraph import DataEdge, GraphError, TaskGraph
 
 __all__ = ["IO_RESOURCE", "Partition", "PartitionError", "all_software", "all_hardware"]
@@ -138,6 +139,17 @@ class Partition:
         mapping = dict(self.mapping)
         mapping[node_name] = resource
         return Partition(self.graph, mapping, self.hw_resources, self.sw_resources)
+
+    def fingerprint(self) -> str:
+        """Content hash of the colouring (graph + mapping + resources).
+
+        Used by the flow pipeline to detect that a partition actually
+        changed (e.g. during HLS area repair) before re-running the
+        stages that depend on it.
+        """
+        return content_hash((self.graph.fingerprint(),
+                             tuple(sorted(self.mapping.items())),
+                             self.hw_resources, self.sw_resources))
 
     def summary(self) -> dict:
         per_resource = {r: len(self.nodes_on(r)) for r in self.resources_used}

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+from ..fingerprint import content_hash
+
 __all__ = ["TaskNode", "DataEdge", "TaskGraph", "GraphError"]
 
 
@@ -143,6 +145,7 @@ class TaskGraph:
         self._edges: list[DataEdge] = []
         self._out: dict[str, list[DataEdge]] = {}
         self._in: dict[str, list[DataEdge]] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -156,6 +159,7 @@ class TaskGraph:
         self._nodes[node.name] = node
         self._out[node.name] = []
         self._in[node.name] = []
+        self._fingerprint = None
         return node
 
     def add_edge(self, src: str, dst: str, dst_port: int | None = None) -> DataEdge:
@@ -177,6 +181,7 @@ class TaskGraph:
         self._out[src].append(edge)
         self._in[dst].append(edge)
         self._in[dst].sort(key=lambda e: e.dst_port)
+        self._fingerprint = None
         return edge
 
     # ------------------------------------------------------------------
@@ -296,6 +301,23 @@ class TaskGraph:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash over nodes and edges.
+
+        Two graphs built the same way (same names, kinds, parameters,
+        payload shapes, edges) share one fingerprint regardless of the
+        instances involved; the hash is invalidated by any mutation.
+        The pipeline engine uses it as a stage-cache key.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = content_hash((
+                self.name,
+                tuple((n.name, n.kind, n.params_items, n.width, n.words)
+                      for n in self._nodes.values()),
+                tuple((e.src, e.dst, e.dst_port, e.width, e.words)
+                      for e in self._edges)))
+        return self._fingerprint
+
     def stats(self) -> dict:
         """Structural summary used by reports and benchmarks."""
         return {

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..estimate.model import CostModel
+from ..fingerprint import content_hash
 from ..graph.partition import Partition, from_mapping
 from ..graph.taskgraph import TaskGraph
 from ..platform.architecture import TargetArchitecture
@@ -78,6 +79,12 @@ class PartitionResult:
     def hw_area(self) -> int:
         return sum(self.feasibility.area.values())
 
+    def fingerprint(self) -> str:
+        """Content hash of the solution (not of solver wall-clock)."""
+        return content_hash((self.partition.fingerprint(),
+                             self.schedule.fingerprint(), self.algorithm,
+                             self.feasibility.feasible))
+
     def summary(self) -> dict:
         return {
             "algorithm": self.algorithm,
@@ -125,3 +132,16 @@ class Partitioner:
     def stats(self) -> dict:
         """Algorithm-specific counters for reports (override freely)."""
         return {}
+
+    def fingerprint(self) -> str:
+        """Content hash of the algorithm and its configuration.
+
+        Two partitioner instances of the same class with the same
+        constructor attributes fingerprint identically, so the flow's
+        stage cache can reuse a partitioning result across runs.
+        Underscore-prefixed attributes are excluded: they hold run
+        scratch state (counters, caches), not configuration.
+        """
+        config = tuple(sorted((k, repr(v)) for k, v in vars(self).items()
+                              if not k.startswith("_")))
+        return content_hash((type(self).__qualname__, self.name, config))

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..fingerprint import content_hash
 from .bus import Bus
 from .fpgas import Fpga
 from .memory import MemoryDevice
@@ -95,6 +96,17 @@ class TargetArchitecture:
         return self.resource(name).clock_hz
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the complete platform description.
+
+        All components are frozen dataclasses, so their ``repr`` is a
+        deterministic function of their content; two boards built with
+        the same parameters fingerprint identically.  The flow pipeline
+        keys architecture-dependent stage caches on this.
+        """
+        return content_hash((self.name, self.processors, self.fpgas,
+                             self.memory, self.bus))
+
     def describe(self) -> str:
         """Human-readable one-paragraph architecture summary."""
         procs = ", ".join(f"{p.name} ({p.model}, {p.clock_hz / 1e6:.0f} MHz)"

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..fingerprint import content_hash
 from ..graph.partition import Partition
 from ..graph.taskgraph import DataEdge, GraphError
 
@@ -122,6 +123,20 @@ class Schedule:
             return 0.0
         busy = sum(e.duration for e in self.on_resource(resource))
         return busy / span
+
+    def fingerprint(self) -> str:
+        """Content hash over slots, transfers and the underlying partition.
+
+        The STG and communication-refinement pipeline stages key their
+        caches on this: identical schedules (same partition, same slot
+        times, same bus bursts) produce identical co-synthesis results.
+        """
+        return content_hash((
+            self.partition.fingerprint(),
+            tuple(sorted((e.node, e.resource, e.start, e.end)
+                         for e in self.entries.values())),
+            tuple((t.edge, t.direction, t.start, t.end)
+                  for t in self.transfers)))
 
     def summary(self) -> dict:
         per_resource = {r: len(self.on_resource(r))

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..fingerprint import content_hash
+
 __all__ = ["StateKind", "StgState", "StgTransition", "Stg", "StgError"]
 
 
@@ -159,6 +161,15 @@ class Stg:
 
     def states_of_kind(self, kind: StateKind) -> list[StgState]:
         return [s for s in self._states.values() if s.kind == kind]
+
+    def fingerprint(self) -> str:
+        """Content hash over states and transitions (pipeline cache key)."""
+        return content_hash((
+            self.name, self.initial,
+            tuple((s.name, s.kind.value, s.node, s.resource)
+                  for s in self._states.values()),
+            tuple((t.src, t.dst, t.conditions, t.actions)
+                  for t in self._transitions)))
 
     def states_of_node(self, node: str) -> list[StgState]:
         return [s for s in self._states.values() if s.node == node]

@@ -1,0 +1,404 @@
+"""Tests for the stage-graph pipeline engine and the incremental flow."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps import four_band_equalizer
+from repro.flow import (CoolFlow, FlowContext, PipelineError,
+                        PipelineExecutor, Stage, StageCache, fingerprint_of,
+                        select_eviction_victim, stage_timer)
+from repro.graph import TaskGraph, execute
+from repro.partition import (GreedyPartitioner, MilpPartitioner, Partitioner,
+                             PartitioningProblem, evaluate_mapping)
+from repro.platform import (Bus, Fpga, MemoryDevice, TargetArchitecture,
+                            cool_board, dsp56001, minimal_board)
+
+
+class TestStageTimer:
+    def test_accumulates_across_entries(self):
+        sink = {}
+        with stage_timer("a", sink):
+            pass
+        first = sink["a"]
+        with stage_timer("a", sink):
+            pass
+        assert sink["a"] >= first
+
+    def test_records_on_exception(self):
+        sink = {}
+        with pytest.raises(ValueError):
+            with stage_timer("boom", sink):
+                raise ValueError("x")
+        assert sink["boom"] >= 0
+
+
+class TestFingerprints:
+    def test_taskgraph_content_hash_is_stable(self):
+        a = four_band_equalizer(words=8)
+        b = four_band_equalizer(words=8)
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_taskgraph_hash_changes_on_mutation(self):
+        graph = four_band_equalizer(words=8)
+        before = graph.fingerprint()
+        graph.add_node(name="extra", kind="gain", params={"shift": 1})
+        assert graph.fingerprint() != before
+
+    def test_taskgraph_hash_differs_for_different_payload(self):
+        assert four_band_equalizer(words=8).fingerprint() != \
+            four_band_equalizer(words=4).fingerprint()
+
+    def test_architecture_fingerprint(self):
+        assert minimal_board().fingerprint() == minimal_board().fingerprint()
+        assert minimal_board().fingerprint() != cool_board().fingerprint()
+
+    def test_partition_and_schedule_fingerprints(self):
+        graph = four_band_equalizer(words=8)
+        problem = PartitioningProblem(graph, minimal_board())
+        mapping = {n.name: "dsp0" for n in graph.internal_nodes()}
+        p1, s1, _ = evaluate_mapping(problem, mapping)
+        p2, s2, _ = evaluate_mapping(problem, dict(mapping))
+        assert p1.fingerprint() == p2.fingerprint()
+        assert s1.fingerprint() == s2.fingerprint()
+        moved = dict(mapping)
+        moved[graph.internal_nodes()[0].name] = "fpga0"
+        p3, s3, _ = evaluate_mapping(problem, moved)
+        assert p3.fingerprint() != p1.fingerprint()
+        assert s3.fingerprint() != s1.fingerprint()
+
+    def test_partitioner_fingerprint_covers_config(self):
+        assert GreedyPartitioner().fingerprint() == \
+            GreedyPartitioner().fingerprint()
+        assert MilpPartitioner(backend="scipy").fingerprint() != \
+            MilpPartitioner(backend="bnb").fingerprint()
+
+    def test_plain_value_fingerprints(self):
+        assert fingerprint_of(None) == fingerprint_of(None)
+        assert fingerprint_of((1, "a")) == fingerprint_of((1, "a"))
+        assert fingerprint_of({"k": [1, 2]}) == fingerprint_of({"k": [1, 2]})
+        assert fingerprint_of(1) != fingerprint_of(2)
+
+
+def _counting_stages(counter):
+    def double(ctx):
+        counter["double"] += 1
+        return {"doubled": ctx.get("x") * 2}
+
+    def shout(ctx):
+        counter["shout"] += 1
+        return {"shouted": f"{ctx.get('doubled')}!{ctx.get('suffix')}"}
+
+    return [
+        Stage("double", ("x",), ("doubled",), double),
+        Stage("shout", ("doubled", "suffix"), ("shouted",), shout),
+    ]
+
+
+class TestPipelineExecutor:
+    def test_runs_only_what_is_requested(self):
+        counter = {"double": 0, "shout": 0}
+        executor = PipelineExecutor(_counting_stages(counter))
+        ctx = FlowContext(x=21, suffix="?")
+        executor.request(ctx, ["doubled"])
+        assert ctx.get("doubled") == 42
+        assert counter == {"double": 1, "shout": 0}
+
+    def test_skips_fresh_stages(self):
+        counter = {"double": 0, "shout": 0}
+        executor = PipelineExecutor(_counting_stages(counter))
+        ctx = FlowContext(x=21, suffix="?")
+        executor.request(ctx, ["shouted"])
+        executor.request(ctx, ["shouted"])
+        assert counter == {"double": 1, "shout": 1}
+
+    def test_reruns_only_stages_whose_inputs_changed(self):
+        counter = {"double": 0, "shout": 0}
+        executor = PipelineExecutor(_counting_stages(counter))
+        ctx = FlowContext(x=21, suffix="?")
+        executor.request(ctx, ["shouted"])
+        ctx.put("suffix", "!!")  # only the second stage depends on this
+        executor.request(ctx, ["shouted"])
+        assert counter == {"double": 1, "shout": 2}
+        assert ctx.get("shouted") == "42!!!"
+
+    def test_missing_input_raises(self):
+        executor = PipelineExecutor(_counting_stages({"double": 0,
+                                                      "shout": 0}))
+        with pytest.raises(PipelineError, match="missing input"):
+            executor.request(FlowContext(), ["doubled"])
+
+    def test_unknown_requested_artifact_raises(self):
+        executor = PipelineExecutor(_counting_stages({"double": 0,
+                                                      "shout": 0}))
+        with pytest.raises(PipelineError, match="no stage produces"):
+            executor.request(FlowContext(x=1), ["doubeld"])  # typo
+
+    def test_requesting_seeded_artifact_is_allowed(self):
+        executor = PipelineExecutor(_counting_stages({"double": 0,
+                                                      "shout": 0}))
+        executor.request(FlowContext(x=1, suffix="?"), ["x"])  # no-op
+
+    def test_commit_outputs_replaces_cache_entry(self):
+        cache = StageCache()
+        counter = {"double": 0, "shout": 0}
+        executor = PipelineExecutor(_counting_stages(counter), cache=cache)
+        ctx = FlowContext(x=21, suffix="?")
+        executor.request(ctx, ["doubled"])
+        ctx.put("doubled", 1000)  # driver refines the stage's output
+        executor.commit_outputs(ctx, "double")
+        fresh = PipelineExecutor(_counting_stages(counter), cache=cache)
+        ctx2 = FlowContext(x=21, suffix="?")
+        fresh.request(ctx2, ["doubled"])
+        assert ctx2.get("doubled") == 1000
+        assert counter["double"] == 1  # refined value served from cache
+
+    def test_commit_outputs_unknown_stage_raises(self):
+        executor = PipelineExecutor(_counting_stages({"double": 0,
+                                                      "shout": 0}))
+        with pytest.raises(PipelineError, match="unknown stage"):
+            executor.commit_outputs(FlowContext(x=1), "nope")
+
+    def test_duplicate_producer_rejected(self):
+        stage = Stage("a", (), ("k",), lambda ctx: {"k": 1})
+        clone = Stage("b", (), ("k",), lambda ctx: {"k": 2})
+        with pytest.raises(PipelineError, match="produced by both"):
+            PipelineExecutor([stage, clone])
+
+    def test_stage_must_produce_declared_outputs(self):
+        stage = Stage("bad", ("x",), ("y",), lambda ctx: {})
+        executor = PipelineExecutor([stage])
+        with pytest.raises(PipelineError, match="did not produce"):
+            executor.request(FlowContext(x=1), ["y"])
+
+    def test_cross_executor_cache(self):
+        cache = StageCache()
+        counter = {"double": 0, "shout": 0}
+        first = PipelineExecutor(_counting_stages(counter), cache=cache)
+        first.request(FlowContext(x=21, suffix="?"), ["shouted"])
+        second = PipelineExecutor(_counting_stages(counter), cache=cache)
+        ctx = FlowContext(x=21, suffix="?")
+        second.request(ctx, ["shouted"])
+        assert counter == {"double": 1, "shout": 1}
+        assert second.stage_runs == {"double": 0, "shout": 0}
+        assert second.cache_hits == {"double": 1, "shout": 1}
+        assert ctx.get("shouted") == "42!?"
+
+    def test_cache_lru_eviction(self):
+        cache = StageCache(max_entries=1)
+        cache.put("s", ("a",), {"k": (1, "fp")})
+        cache.put("s", ("b",), {"k": (2, "fp")})
+        assert len(cache) == 1
+        assert cache.get("s", ("a",)) is None
+        assert cache.get("s", ("b",)) is not None
+
+
+class _AllHardware(Partitioner):
+    """Force every internal node onto the first FPGA (ignores area)."""
+
+    name = "all_hw"
+
+    def solve(self, problem):
+        fpga = problem.arch.fpga_names[0]
+        return {n.name: fpga for n in problem.graph.internal_nodes()}
+
+
+def _tiny_fpga_board(clb_capacity: int) -> TargetArchitecture:
+    """A board whose FPGA is deliberately undersized for the equalizer."""
+    return TargetArchitecture(
+        name=f"tiny_{clb_capacity}",
+        processors=(dsp56001("dsp0"),),
+        fpgas=(Fpga(name="fpga0", model="XC-tiny",
+                    clb_capacity=clb_capacity, clock_hz=10e6),),
+        memory=MemoryDevice("sram", 64 * 1024, base_address=0x1000,
+                            word_bytes=2, read_cycles=1, write_cycles=1),
+        bus=Bus("sysbus", width_bits=16, clock_hz=10e6, cycles_per_word=1),
+    )
+
+
+class TestAreaRepair:
+    def test_undersized_fpga_converges_by_eviction(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(_tiny_fpga_board(2), partitioner=_AllHardware())
+        result = flow.run(graph)
+        repairs = result.partition_result.stats["area_repairs"]
+        assert repairs >= 1
+        for resource, clbs in result.clbs_per_fpga.items():
+            assert clbs <= result.arch.fpga(resource).clb_capacity
+        # evicted nodes actually run in software
+        assert result.partition_result.partition.sw_nodes()
+        assert "dsp0.c" in result.c_files
+
+    def test_repaired_flow_still_simulates_correctly(self):
+        graph = four_band_equalizer(words=8)
+        stimuli = {"x": [7, -3 & 0xFFFF, 12, 0, 5, 0, 0, 0]}
+        flow = CoolFlow(_tiny_fpga_board(2), partitioner=_AllHardware())
+        result = flow.run(graph, stimuli=stimuli)
+        assert result.partition_result.stats["area_repairs"] >= 1
+        assert result.sim_result.outputs["y"] == execute(graph, stimuli)["y"]
+
+    def test_non_convergence_raises(self, monkeypatch):
+        graph = four_band_equalizer(words=8)
+        arch = _tiny_fpga_board(2)
+
+        def always_overflowing(graph_, partition, resource, fpga):
+            node_results = {name: SimpleNamespace(area_clbs=100)
+                            for name in partition.nodes_on(resource)}
+            return SimpleNamespace(node_results=node_results,
+                                   total_area_clbs=fpga.clb_capacity + 1,
+                                   latencies={})
+
+        monkeypatch.setattr("repro.flow.cool.synthesize_resource",
+                            always_overflowing)
+        flow = CoolFlow(arch, partitioner=_AllHardware())
+        with pytest.raises(RuntimeError, match="area repair"):
+            flow.run(graph)
+
+    def test_victim_selection_respects_deadline(self):
+        """The largest node is skipped when evicting it breaks the deadline."""
+        graph = TaskGraph("victims")
+        graph.add_node(name="in0", kind="input", width=16, words=8)
+        graph.add_node(name="heavy", kind="fir",
+                       params={"taps": tuple(range(1, 13)), "shift": 2},
+                       width=16, words=8)
+        graph.add_node(name="light", kind="gain",
+                       params={"factor": 2, "shift": 1},
+                       width=16, words=8)
+        graph.add_node(name="out0", kind="output", width=16, words=8)
+        graph.add_edge("in0", "heavy")
+        graph.add_edge("heavy", "light")
+        graph.add_edge("light", "out0")
+
+        arch = _tiny_fpga_board(400)
+        problem_free = PartitioningProblem(graph, arch)
+        both_hw = {"heavy": "fpga0", "light": "fpga0"}
+        makespans = {}
+        for victim in ("heavy", "light"):
+            mapping = dict(both_hw)
+            mapping[victim] = "dsp0"
+            _, schedule, _ = evaluate_mapping(problem_free, mapping)
+            makespans[victim] = schedule.makespan
+        assert makespans["heavy"] > makespans["light"], \
+            "scenario needs the heavy node to be slower in software"
+
+        deadline = makespans["light"]
+        problem = PartitioningProblem(graph, arch, deadline=deadline)
+        partition, _, _ = evaluate_mapping(problem, both_hw)
+        # "heavy" saves the most area but breaks the deadline -> "light"
+        victim, moved, schedule, report = select_eviction_victim(
+            problem, partition, "fpga0",
+            {"heavy": 100, "light": 50}, "dsp0")
+        assert victim == "light"
+        assert report.deadline_ok
+        assert moved.resource_of("light") == "dsp0"
+        assert moved.resource_of("heavy") == "fpga0"
+
+    def test_victim_selection_falls_back_to_largest(self):
+        graph = four_band_equalizer(words=8)
+        arch = _tiny_fpga_board(2)
+        problem = PartitioningProblem(graph, arch, deadline=1)  # hopeless
+        mapping = {n.name: "fpga0" for n in graph.internal_nodes()}
+        partition, _, _ = evaluate_mapping(problem, mapping)
+        areas = {name: 10 + i
+                 for i, name in enumerate(partition.nodes_on("fpga0"))}
+        biggest = max(areas, key=areas.get)
+        victim, *_ = select_eviction_victim(problem, partition, "fpga0",
+                                            areas, "dsp0")
+        assert victim == biggest
+
+    def test_victim_selection_without_candidates_raises(self):
+        graph = four_band_equalizer(words=8)
+        problem = PartitioningProblem(graph, _tiny_fpga_board(2))
+        mapping = {n.name: "dsp0" for n in graph.internal_nodes()}
+        partition, _, _ = evaluate_mapping(problem, mapping)
+        with pytest.raises(RuntimeError, match="no evictable nodes"):
+            select_eviction_victim(problem, partition, "fpga0", {}, "dsp0")
+
+
+class TestIncrementalReexecution:
+    def test_stg_and_comm_not_rerun_during_area_repair(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(_tiny_fpga_board(2), partitioner=_AllHardware())
+        result = flow.run(graph)
+        repairs = result.partition_result.stats["area_repairs"]
+        assert repairs >= 1
+        # hls re-ran once per repair, co-synthesis ran exactly once
+        assert result.stage_runs["hls"] == repairs + 1
+        assert result.stage_runs["stg"] == 1
+        assert result.stage_runs["communication"] == 1
+        assert result.stage_runs["codegen"] == 1
+
+    def test_second_run_after_area_repair_skips_eviction_search(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(_tiny_fpga_board(2), partitioner=_AllHardware())
+        first = flow.run(graph)
+        repairs = first.partition_result.stats["area_repairs"]
+        assert repairs >= 1
+        second = flow.run(graph)
+        # the converged mapping was committed to the cache: no stage
+        # re-runs, and the repaired stats are preserved
+        assert sum(second.stage_runs.values()) == 0
+        assert second.partition_result.stats["area_repairs"] == repairs
+        assert second.clbs_per_fpga == first.clbs_per_fpga
+
+    def test_result_dicts_are_isolated_from_cache(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        first = flow.run(graph)
+        first.vhdl_files["injected.vhd"] = "-- mutated by caller"
+        first.c_files["rogue.c"] = "int main(){}"
+        second = flow.run(graph)
+        assert "injected.vhd" not in second.vhdl_files
+        assert "rogue.c" not in second.c_files
+
+    def test_partition_stats_are_isolated_from_cache(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        first = flow.run(graph)
+        first.partition_result.stats["note"] = "mine"
+        second = flow.run(graph)
+        assert "note" not in second.partition_result.stats
+
+    def test_second_run_hits_stage_cache(self):
+        graph = four_band_equalizer(words=8)
+        stimuli = {"x": [10, 20, 30, 40, 0, 0, 0, 0]}
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        first = flow.run(graph, stimuli=stimuli)
+        assert sum(first.stage_runs.values()) > 0
+        second = flow.run(graph, stimuli=stimuli)
+        assert sum(second.stage_runs.values()) == 0
+        # everything is still reported, timed and identical
+        for stage in ("validate", "partitioning", "stg", "communication",
+                      "hls", "controllers", "codegen", "cosim"):
+            assert stage in second.stage_seconds
+        assert second.vhdl_files == first.vhdl_files
+        assert second.makespan == first.makespan
+        assert second.sim_result.outputs == first.sim_result.outputs
+
+    def test_changed_graph_misses_stage_cache(self):
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        flow.run(four_band_equalizer(words=8))
+        other = flow.run(four_band_equalizer(words=4))
+        assert sum(other.stage_runs.values()) > 0
+
+    def test_changed_deadline_reruns_partitioning_only_downstream(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        free = flow.run(graph)
+        relaxed = flow.run(graph, deadline=free.makespan * 4)
+        # partitioning re-ran (new deadline artifact) ...
+        assert relaxed.stage_runs["partitioning"] == 1
+        # ... but validation was cache-served
+        assert relaxed.stage_runs["validate"] == 0
+
+    def test_shared_cache_across_flow_instances(self):
+        graph = four_band_equalizer(words=8)
+        cache = StageCache()
+        first = CoolFlow(minimal_board(), partitioner=GreedyPartitioner(),
+                         stage_cache=cache)
+        first.run(graph)
+        second = CoolFlow(minimal_board(), partitioner=GreedyPartitioner(),
+                          stage_cache=cache)
+        result = second.run(graph)
+        assert sum(result.stage_runs.values()) == 0
