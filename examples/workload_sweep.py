@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Streaming sweep of a generated workload suite.
+
+Samples a deterministic population of synthetic designs
+(:func:`repro.workloads.workload_suite`), fans each through the full
+COOL flow with the streaming :class:`~repro.flow.batch.BatchRunner` --
+progress is reported per completion, a shared
+:class:`~repro.flow.pipeline.StageCache` reuses stage results across
+jobs, and a per-job timeout guards against stragglers -- then prints
+the per-graph Pareto-ranked implementations.
+"""
+
+from repro.flow import BatchRunner, DesignSpaceExplorer, StageCache
+from repro.partition import GreedyPartitioner
+from repro.platform import minimal_board
+from repro.workloads import build_graphs, workload_suite
+
+
+def main() -> None:
+    specs = workload_suite(12, seed=3)
+    graphs = build_graphs(specs)
+    print(f"generated {len(graphs)} designs across "
+          f"{len({s.family for s in specs})} families:")
+    for spec, graph in zip(specs, graphs):
+        stats = graph.stats()
+        print(f"  {graph.name:<28} {stats['nodes']:>3} nodes "
+              f"{stats['edges']:>3} edges depth {stats['depth']}")
+
+    cache = StageCache(max_entries=2048)
+    runner = BatchRunner(max_workers=4, stage_cache=cache, job_timeout=120.0)
+
+    def progress(outcome, done, total):
+        status = f"{outcome.seconds * 1e3:6.0f} ms" if outcome.ok \
+            else f"FAILED ({outcome.error})"
+        print(f"  [{done:2}/{total}] {outcome.job.name:<44} {status}")
+
+    print("\nsweeping (streaming completions):")
+    exploration = DesignSpaceExplorer(
+        graphs,
+        architectures=[minimal_board()],
+        partitioners=[GreedyPartitioner()],
+        runner=runner,
+    ).explore(progress=progress)
+
+    print(f"\n{len(exploration.points)} implementations, "
+          f"{len(exploration.pareto())} Pareto-optimal "
+          f"(cache: {cache.stats()}):\n")
+    print(exploration.table())
+
+
+if __name__ == "__main__":
+    main()

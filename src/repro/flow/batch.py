@@ -6,37 +6,52 @@ al.) fits the COOL flow directly because every (graph, architecture,
 partitioner, options) job is independent:
 
 * :class:`FlowJob` -- one fully-specified flow invocation;
-* :class:`BatchRunner` -- fans a job list across
+* :class:`BatchRunner` -- streams a job list across
   :mod:`concurrent.futures` workers (threads by default, processes or
-  strictly serial on request) and returns per-job outcomes in input
-  order, isolating failures so one bad design cannot sink a sweep;
-* :class:`DesignSpaceExplorer` -- sweeps partitioners x deadlines x
-  architectures over one task graph and ranks the implementations on
-  the classic co-design Pareto axes: makespan, CLB area, communication
-  memory words.
+  strictly serial on request): jobs are submitted individually and
+  consumed ``as_completed``, outcomes are reassembled into input order,
+  an optional ``progress`` callback observes each completion as it
+  happens, and a per-job ``job_timeout`` turns stragglers into failed
+  outcomes instead of stalling the sweep.  Failures -- including
+  *pickling* failures of the process backend, which surface on the
+  future rather than inside the job body -- are isolated per job, so
+  one bad design can never sink a sweep;
+* :class:`DesignSpaceExplorer` -- sweeps graphs x architectures x
+  partitioners x deadlines and ranks the implementations on the classic
+  co-design Pareto axes: makespan, CLB area, communication memory words.
 
 Jobs deep-copy their partitioner before running so stateful engines
 (e.g. the genetic algorithm's RNG) start identically whether the batch
 runs serially or on four workers -- batch results are reproducible by
-construction.
+construction.  A :class:`~repro.flow.pipeline.StageCache` passed to the
+runner is shared by every job of the sweep (thread/serial backends), so
+jobs that revisit a (graph, architecture) pair -- deadline sweeps,
+repeated suites -- reuse each other's stage results.
 """
 
 from __future__ import annotations
 
 import copy
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..graph.taskgraph import TaskGraph
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
 from .cool import CoolFlow, FlowResult
+from .pipeline import StageCache
 
 __all__ = ["FlowJob", "JobOutcome", "BatchRunner", "DesignPoint",
            "ExplorationResult", "DesignSpaceExplorer"]
+
+#: Signature of the streaming progress hook:
+#: ``callback(outcome, done_count, total)``, invoked in completion order.
+ProgressCallback = Callable[["JobOutcome", int, int], None]
 
 
 @dataclass(frozen=True)
@@ -57,8 +72,10 @@ class FlowJob:
         """Display name: the label, or graph@arch."""
         if self.label:
             return self.label
+        # derive the default label from the flow's actual default engine
+        # so the displayed algorithm can never drift from behaviour
         algo = self.partitioner.name if self.partitioner is not None \
-            else "milp"
+            else CoolFlow.default_partitioner().name
         return f"{self.graph.name}@{self.arch.name}/{algo}"
 
 
@@ -76,20 +93,22 @@ class JobOutcome:
         return self.error is None
 
 
-def _run_job(job: FlowJob) -> FlowResult:
+def _run_job(job: FlowJob, stage_cache: StageCache | None) -> FlowResult:
     """Execute one job in a fresh flow (module-level for process pools)."""
     partitioner = copy.deepcopy(job.partitioner) \
         if job.partitioner is not None else None
     flow = CoolFlow(job.arch, partitioner=partitioner,
                     reuse_memory=job.reuse_memory,
-                    allow_direct_comm=job.allow_direct_comm)
+                    allow_direct_comm=job.allow_direct_comm,
+                    stage_cache=stage_cache)
     return flow.run(job.graph, stimuli=job.stimuli, deadline=job.deadline)
 
 
-def _run_outcome(job: FlowJob) -> JobOutcome:
+def _run_outcome(job: FlowJob,
+                 stage_cache: StageCache | None = None) -> JobOutcome:
     started = time.perf_counter()
     try:
-        result = _run_job(job)
+        result = _run_job(job, stage_cache)
     except Exception as exc:  # isolate failures per job
         return JobOutcome(job, error=f"{type(exc).__name__}: {exc}",
                           seconds=time.perf_counter() - started)
@@ -98,7 +117,7 @@ def _run_outcome(job: FlowJob) -> JobOutcome:
 
 
 class BatchRunner:
-    """Run many flow jobs, optionally in parallel.
+    """Run many flow jobs, optionally in parallel, streaming completions.
 
     Parameters
     ----------
@@ -108,34 +127,196 @@ class BatchRunner:
     backend:
         ``"thread"`` (default), ``"process"`` (jobs and results must be
         picklable) or ``"serial"``.
+    stage_cache:
+        Optional :class:`~repro.flow.pipeline.StageCache` shared by every
+        job of the batch (it is lock-protected).  Sweeps that revisit a
+        (graph, architecture) pair -- several deadlines over one design,
+        a suite run twice -- are then served stage results across jobs
+        instead of recomputing them.  Ignored by the ``"process"``
+        backend: workers live in separate address spaces.
+    job_timeout:
+        Optional per-job budget in seconds, measured from the moment
+        the job *starts executing* (queued jobs do not accrue budget).
+        On the pool backends an expired job is reported as a failed
+        :class:`JobOutcome`; pure-Python work cannot be preempted, so
+        its worker stays occupied until the job really returns.  Should
+        *every* worker end up held by a timed-out job, the queued jobs
+        start accruing budget too and eventually fail as starved --
+        the sweep always finishes in bounded time, even when a
+        straggler never returns.  The serial backend cannot preempt the
+        single in-process job and ignores the budget.
 
     Note on speed: the flow is pure Python, so threads serialize on the
     GIL, and a process pool must pickle every (large) ``FlowResult``
-    back -- for the bundled workloads both pools measure *slower* than
-    ``"serial"`` (see ``BENCH_flow_pipeline.json``).  Choose the
-    backend for orchestration semantics -- per-job failure isolation
-    and deterministic fan-out -- and reach for ``"process"`` only when
-    per-job compute (e.g. the bnb MILP backend, minute-scale solves)
-    dwarfs the result-pickling cost.
+    back -- for the bundled (sub-second) jobs both pools measure
+    *slower* than ``"serial"`` (see ``BENCH_flow_pipeline.json``).
+    Choose the backend for orchestration semantics -- per-job failure
+    isolation, streaming progress and deterministic fan-out -- and reach
+    for ``"process"`` only when per-job compute (e.g. the bnb MILP
+    backend, minute-scale solves) dwarfs the result-pickling cost.  For
+    repeated sweeps over the same designs a shared ``stage_cache`` on
+    the ``"serial"``/``"thread"`` backends buys far more than worker
+    parallelism: unchanged (graph, arch) pairs collapse to dictionary
+    lookups (see ``BENCH_workload_sweep.json``).
     """
 
     def __init__(self, max_workers: int | None = None,
-                 backend: str = "thread") -> None:
+                 backend: str = "thread",
+                 stage_cache: StageCache | None = None,
+                 job_timeout: float | None = None) -> None:
         if backend not in ("thread", "process", "serial"):
             raise ValueError(f"unknown batch backend {backend!r}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be positive, got "
+                             f"{job_timeout}")
         self.max_workers = max_workers
         self.backend = backend
+        self.stage_cache = stage_cache
+        self.job_timeout = job_timeout
 
-    def run(self, jobs: Iterable[FlowJob]) -> list[JobOutcome]:
-        """Execute all jobs; outcomes come back in input order."""
+    # ------------------------------------------------------------------
+    def run(self, jobs: Iterable[FlowJob],
+            progress: ProgressCallback | None = None) -> list[JobOutcome]:
+        """Execute all jobs; outcomes come back in input order.
+
+        ``progress`` is invoked once per job *in completion order* as
+        ``progress(outcome, done_count, total)`` -- the streaming view
+        of the sweep -- while the returned list is reassembled into
+        input order.
+        """
         jobs = list(jobs)
-        if (self.backend == "serial" or len(jobs) <= 1
-                or (self.max_workers is not None and self.max_workers <= 1)):
-            return [_run_outcome(job) for job in jobs]
+        total = len(jobs)
+        # only the serial backend runs in-process: the pool backends
+        # keep their semantics (timeout, pickling isolation, no shared
+        # cache across processes) even for single-job or single-worker
+        # batches
+        if self.backend == "serial" or total == 0:
+            outcomes = []
+            for done, job in enumerate(jobs, start=1):
+                outcome = _run_outcome(job, self.stage_cache)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome, done, total)
+            return outcomes
+        return self._run_pooled(jobs, progress)
+
+    #: How often the timeout loop re-checks for queued jobs entering
+    #: execution (their budget clock starts only then).
+    _TIMEOUT_POLL_S = 0.05
+
+    def _run_pooled(self, jobs: list[FlowJob],
+                    progress: ProgressCallback | None) -> list[JobOutcome]:
         pool_cls = ThreadPoolExecutor if self.backend == "thread" \
             else ProcessPoolExecutor
-        with pool_cls(max_workers=self.max_workers) as pool:
-            return list(pool.map(_run_outcome, jobs))
+        cache = self.stage_cache if self.backend != "process" else None
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        done_count = 0
+        abandoned = False
+        pool = pool_cls(max_workers=self.max_workers)
+        try:
+            index_of: dict[Future, int] = {}
+            for index, job in enumerate(jobs):
+                index_of[pool.submit(_run_outcome, job, cache)] = index
+            pending = set(index_of)
+            started_at: dict[Future, float] = {}
+            stuck: set[Future] = set()    # timed out but still on a worker
+            starved: set[Future] = set()  # queued, clock started anyway
+
+            def emit(future: Future, outcome: JobOutcome) -> None:
+                nonlocal done_count
+                outcomes[index_of[future]] = outcome
+                done_count += 1
+                if progress is not None:
+                    progress(outcome, done_count, len(jobs))
+
+            while pending:
+                now = time.perf_counter()
+                if self.job_timeout is None:
+                    timeout = None
+                else:
+                    # the budget clock of a job starts when its future
+                    # enters execution; queued jobs normally accrue none
+                    # (a job that waited gets its full budget on start)
+                    for future in pending:
+                        if future.running() and (future not in started_at
+                                                 or future in starved):
+                            started_at[future] = now
+                            starved.discard(future)
+                    # a timed-out job cannot be preempted: its worker
+                    # frees up only when the job really returns.  Once
+                    # *every* worker is held by such a job, queued jobs
+                    # start accruing budget too -- otherwise a straggler
+                    # that never returns would stall the sweep forever.
+                    stuck = {f for f in stuck if not f.done()}
+                    if len(stuck) >= pool._max_workers:
+                        for future in pending:
+                            if future not in started_at:
+                                started_at[future] = now
+                                starved.add(future)
+                    elif starved:
+                        # the pool recovered (a timed-out job finally
+                        # returned): queued jobs stop accruing budget
+                        for future in starved:
+                            started_at.pop(future, None)
+                        starved.clear()
+                    expired = [f for f in pending
+                               if f in started_at and now - started_at[f]
+                               >= self.job_timeout]
+                    for future in expired:
+                        pending.discard(future)
+                        if future.done():
+                            emit(future,
+                                 self._outcome_of(future,
+                                                  jobs[index_of[future]]))
+                            continue
+                        if not future.cancel():
+                            stuck.add(future)
+                            abandoned = True
+                        if future in starved:
+                            error = (f"TimeoutError: no worker became "
+                                     f"available within {self.job_timeout}s "
+                                     f"(pool saturated by timed-out jobs)")
+                        else:
+                            error = (f"TimeoutError: job exceeded "
+                                     f"{self.job_timeout}s budget")
+                        emit(future, JobOutcome(
+                            jobs[index_of[future]], error=error,
+                            seconds=now - started_at[future]))
+                    if not pending:
+                        break
+                    deadlines = [started_at[f] + self.job_timeout - now
+                                 for f in pending if f in started_at]
+                    if any(f not in started_at for f in pending) or stuck:
+                        deadlines.append(self._TIMEOUT_POLL_S)
+                    timeout = max(min(deadlines), 0.0)
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    emit(future, self._outcome_of(future,
+                                                  jobs[index_of[future]]))
+        finally:
+            # abandoned workers may still be executing a timed-out job;
+            # don't block the sweep on them
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    def _outcome_of(future: Future, job: FlowJob) -> JobOutcome:
+        """Convert a finished future into an outcome.
+
+        ``future.result()`` can raise even though ``_run_outcome`` never
+        does: the process backend pickles the job on submission and the
+        outcome on return, and either step can fail *outside* the job
+        body (unpicklable partitioner, graph or ``FlowResult``), or the
+        pool itself can break.  Those failures belong to this job alone.
+        """
+        try:
+            return future.result()
+        except CancelledError:
+            return JobOutcome(job, error="CancelledError: job cancelled")
+        except Exception as exc:
+            return JobOutcome(job, error=f"{type(exc).__name__}: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -156,6 +337,9 @@ class DesignPoint:
     sw_nodes: int
     feasible: bool
     area_repairs: int = 0
+    #: Name of the task graph this point implements (multi-graph sweeps
+    #: compare points only within one graph).
+    graph: str = ""
 
     @property
     def metrics(self) -> tuple[int, int, int]:
@@ -180,27 +364,47 @@ class ExplorationResult:
         """Implementations that meet all their constraints."""
         return [p for p in self.points if p.feasible]
 
+    def by_graph(self) -> dict[str, list[DesignPoint]]:
+        """Points grouped by the task graph they implement."""
+        groups: dict[str, list[DesignPoint]] = {}
+        for point in self.points:
+            groups.setdefault(point.graph, []).append(point)
+        return groups
+
     def pareto(self) -> list[DesignPoint]:
         """The non-dominated *feasible* implementations.
 
         An implementation that violates its own constraints (deadline,
         area, memory) is not a design anyone can pick, however good its
-        metrics look, so infeasible points never enter the front.
+        metrics look, so infeasible points never enter the front.  In a
+        multi-graph sweep dominance is judged per graph: implementations
+        of different designs are not alternatives to one another.
         """
-        feasible = self.feasible_points()
-        return [p for p in feasible
-                if not any(q.dominates(p) for q in feasible)]
+        feasible_of = {graph: [p for p in points if p.feasible]
+                       for graph, points in self.by_graph().items()}
+        return [p for p in self.feasible_points()
+                if not any(q.dominates(p) for q in feasible_of[p.graph])]
 
     def ranked(self, front: set[DesignPoint] | None = None
                ) -> list[DesignPoint]:
         """All points: feasible before infeasible, Pareto front first,
-        each tier by normalized score."""
+        each tier by normalized score.
+
+        Scores are normalized against the worst *feasible* point of the
+        same graph (falling back to all of its points only when none is
+        feasible): an arbitrarily bad infeasible outlier would otherwise
+        flatten every score that orders the feasible tier.
+        """
         if front is None:
             front = set(self.pareto())
-        worst = [max((p.metrics[axis] for p in self.points), default=0)
-                 for axis in range(3)]
+        worst_of: dict[str, list[int]] = {}
+        for graph, points in self.by_graph().items():
+            pool = [p for p in points if p.feasible] or points
+            worst_of[graph] = [max(p.metrics[axis] for p in pool)
+                               for axis in range(3)]
 
         def score(point: DesignPoint) -> float:
+            worst = worst_of[point.graph]
             return sum(point.metrics[axis] / worst[axis]
                        for axis in range(3) if worst[axis])
 
@@ -245,30 +449,48 @@ def _point_from(outcome: JobOutcome) -> DesignPoint:
         sw_nodes=summary["sw_nodes"],
         feasible=result.partition_result.feasibility.feasible,
         area_repairs=result.partition_result.stats.get("area_repairs", 0),
+        graph=result.graph.name,
     )
 
 
 class DesignSpaceExplorer:
-    """Sweep partitioners x deadlines x architectures over one graph.
+    """Sweep graphs x architectures x partitioners x deadlines.
 
-    ``explore()`` fans the cross-product through a :class:`BatchRunner`
-    and reduces every successful implementation to a
-    :class:`DesignPoint`; the :class:`ExplorationResult` ranks them and
-    computes the Pareto front over (makespan, CLB area, memory words).
+    ``graphs`` may be a single :class:`~repro.graph.taskgraph.TaskGraph`
+    (the classic one-design exploration) or a sequence of graphs -- e.g.
+    a generated :func:`~repro.workloads.workload_suite` -- in which case
+    the cross-product additionally fans over the designs and every label
+    is prefixed with the graph name.  ``explore()`` drives the jobs
+    through a :class:`BatchRunner` and reduces every successful
+    implementation to a :class:`DesignPoint`; the
+    :class:`ExplorationResult` ranks them and computes the per-graph
+    Pareto front over (makespan, CLB area, memory words).
     """
 
-    def __init__(self, graph: TaskGraph,
+    def __init__(self, graphs: TaskGraph | Sequence[TaskGraph],
                  architectures: Sequence[TargetArchitecture],
                  partitioners: Sequence[Partitioner],
                  deadlines: Sequence[int | None] = (None,),
                  runner: BatchRunner | None = None) -> None:
+        if isinstance(graphs, TaskGraph):
+            graphs = [graphs]
+        self.graphs = list(graphs)
+        if not self.graphs:
+            raise ValueError("need at least one graph")
         if not architectures or not partitioners:
             raise ValueError("need at least one architecture and partitioner")
-        self.graph = graph
+        names = [g.name for g in self.graphs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"graph names must be unique, got {names}")
         self.architectures = list(architectures)
         self.partitioners = list(partitioners)
         self.deadlines = list(deadlines) or [None]
         self.runner = runner if runner is not None else BatchRunner()
+
+    @property
+    def graph(self) -> TaskGraph:
+        """The first (historically: only) explored graph."""
+        return self.graphs[0]
 
     def _partitioner_labels(self) -> list[str]:
         """One display name per partitioner, disambiguated on collision.
@@ -293,19 +515,22 @@ class DesignSpaceExplorer:
 
     def jobs(self) -> list[FlowJob]:
         labels = self._partitioner_labels()
+        multi = len(self.graphs) > 1
         out = []
-        for arch, (partitioner, plabel), deadline in product(
-                self.architectures, zip(self.partitioners, labels),
-                self.deadlines):
+        for graph, arch, (partitioner, plabel), deadline in product(
+                self.graphs, self.architectures,
+                zip(self.partitioners, labels), self.deadlines):
             tag = f"@{deadline}" if deadline is not None else ""
+            prefix = f"{graph.name}@" if multi else ""
             out.append(FlowJob(
-                graph=self.graph, arch=arch, partitioner=partitioner,
+                graph=graph, arch=arch, partitioner=partitioner,
                 deadline=deadline,
-                label=f"{arch.name}/{plabel}{tag}"))
+                label=f"{prefix}{arch.name}/{plabel}{tag}"))
         return out
 
-    def explore(self) -> ExplorationResult:
-        outcomes = self.runner.run(self.jobs())
+    def explore(self, progress: ProgressCallback | None = None
+                ) -> ExplorationResult:
+        outcomes = self.runner.run(self.jobs(), progress=progress)
         result = ExplorationResult(outcomes=outcomes)
         for outcome in outcomes:
             if outcome.ok:

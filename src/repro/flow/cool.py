@@ -320,6 +320,15 @@ def select_eviction_victim(problem: PartitioningProblem,
 class CoolFlow:
     """Configurable end-to-end driver (facade over the stage pipeline)."""
 
+    @staticmethod
+    def default_partitioner() -> Partitioner:
+        """The engine used when none is given (the paper's MILP core).
+
+        Single source of truth for the default: batch job labels derive
+        the displayed algorithm from here, so the two cannot drift.
+        """
+        return MilpPartitioner()
+
     def __init__(self, arch: TargetArchitecture,
                  partitioner: Partitioner | None = None,
                  reuse_memory: bool = True,
@@ -328,7 +337,7 @@ class CoolFlow:
                  stage_cache: StageCache | None = None) -> None:
         self.arch = arch
         self.partitioner = partitioner if partitioner is not None \
-            else MilpPartitioner()
+            else self.default_partitioner()
         self.reuse_memory = reuse_memory
         self.allow_direct_comm = allow_direct_comm
         self.design_time_model = design_time_model if design_time_model \

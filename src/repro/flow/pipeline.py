@@ -249,8 +249,23 @@ class StageCache:
         with self._lock:
             self._entries.clear()
 
+    def stats(self) -> dict:
+        """Consistent snapshot of occupancy and hit counters.
+
+        Batch sweeps sharing one cache across worker threads read this
+        for their reports; taking the lock keeps the numbers coherent
+        mid-sweep.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {"entries": len(self._entries),
+                    "max_entries": self.max_entries,
+                    "hits": self.hits, "misses": self.misses,
+                    "hit_rate": round(self.hits / total, 4) if total else 0.0}
+
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class PipelineExecutor:

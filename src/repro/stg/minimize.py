@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .states import StateKind, Stg, StgState, StgTransition
+from .states import StateKind, Stg, StgError, StgState, StgTransition
 
 __all__ = ["minimize_stg", "MinimizationReport"]
 
@@ -54,6 +54,8 @@ class MinimizationReport:
 
 def _rebuild(stg: Stg, keep: set[str],
              transitions: list[StgTransition], name: str) -> Stg:
+    if stg.initial is not None and stg.initial not in keep:
+        raise StgError(f"minimization dropped initial state {stg.initial!r}")
     out = Stg(name)
     for state in stg.states:
         if state.name in keep:
@@ -64,41 +66,22 @@ def _rebuild(stg: Stg, keep: set[str],
     return out
 
 
-def _contract_waits(stg: Stg) -> tuple[Stg, int]:
-    """Fold guard-free WAIT states into their EXECUTION state."""
-    removed = 0
-    transitions = list(stg.transitions)
-    keep = {s.name for s in stg.states}
-    for state in stg.states_of_kind(StateKind.WAIT):
-        outs = [t for t in transitions if t.src == state.name]
-        if len(outs) != 1 or outs[0].conditions:
-            continue  # guarded wait: the controller genuinely waits here
-        exit_t = outs[0]
-        ins = [t for t in transitions if t.dst == state.name]
-        replacement = [StgTransition(t.src, exit_t.dst,
-                                     conditions=t.conditions,
-                                     actions=tuple(t.actions)
-                                     + tuple(exit_t.actions))
-                       for t in ins]
-        transitions = [t for t in transitions
-                       if t.src != state.name and t.dst != state.name]
-        transitions.extend(replacement)
-        keep.discard(state.name)
-        removed += 1
-    return _rebuild(stg, keep, transitions, stg.name), removed
+def _contract(stg: Stg, kind: StateKind) -> tuple[Stg, int]:
+    """Fold states of ``kind`` with one unguarded exit into that edge.
 
-
-def _contract_dones(stg: Stg) -> tuple[Stg, int]:
-    """Fold DONE states into their single outgoing chain edge.
-
-    The outgoing edge must carry no *conditions* (it never does for
-    chain edges); its actions are folded into the merged transition --
-    they fired in the same executor step anyway (fixpoint semantics).
+    For WAIT states a guarded exit means the controller genuinely waits
+    there, so only guard-free waits contract; DONE chain edges never
+    carry conditions.  The exit's actions are folded into the merged
+    transition -- they fired in the same executor step anyway (fixpoint
+    semantics).  The initial state is never contracted: folding the
+    entry state away would leave ``initial`` dangling.
     """
     removed = 0
     transitions = list(stg.transitions)
     keep = {s.name for s in stg.states}
-    for state in stg.states_of_kind(StateKind.DONE):
+    for state in stg.states_of_kind(kind):
+        if state.name == stg.initial:
+            continue
         outs = [t for t in transitions if t.src == state.name]
         if len(outs) != 1 or outs[0].conditions:
             continue
@@ -183,9 +166,9 @@ def minimize_stg(stg: Stg, contract_waits: bool = True,
     waits = dones = merged = 0
     current = stg
     if contract_waits:
-        current, waits = _contract_waits(current)
+        current, waits = _contract(current, StateKind.WAIT)
     if contract_dones:
-        current, dones = _contract_dones(current)
+        current, dones = _contract(current, StateKind.DONE)
     if merge_equivalent:
         current, merged = _merge_equivalent(current)
 

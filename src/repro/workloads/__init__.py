@@ -1,0 +1,21 @@
+"""Synthetic workload generation: seeded task-graph families and suites.
+
+The scale side of the batch layer -- deterministic TGFF-style generators
+(:mod:`repro.workloads.generators`) and suite sampling / stimulus
+derivation (:mod:`repro.workloads.suite`) that feed
+:class:`repro.flow.batch.BatchRunner` sweeps with arbitrarily many
+designs from a single seed.
+"""
+
+from .generators import (ChainSpec, DctSpec, EqualizerSpec, ForkJoinSpec,
+                         GENERATOR_VERSION, LayeredDagSpec, TreeSpec,
+                         WorkloadError, WorkloadSpec)
+from .suite import (DEFAULT_FAMILIES, build_graphs, stimuli_for,
+                    workload_suite)
+
+__all__ = [
+    "WorkloadError", "WorkloadSpec", "LayeredDagSpec", "ForkJoinSpec",
+    "ChainSpec", "TreeSpec", "EqualizerSpec", "DctSpec",
+    "GENERATOR_VERSION", "DEFAULT_FAMILIES", "workload_suite",
+    "build_graphs", "stimuli_for",
+]

@@ -1,12 +1,37 @@
 """Tests for parallel batch execution and design-space exploration."""
 
+import threading
+import time
+
 import pytest
 
 from repro.apps import four_band_equalizer, fuzzy_controller
-from repro.flow import (BatchRunner, DesignSpaceExplorer, FlowJob)
+from repro.flow import (BatchRunner, CoolFlow, DesignSpaceExplorer, FlowJob,
+                        StageCache)
 from repro.graph import TaskGraph, execute
 from repro.partition import GreedyPartitioner, MilpPartitioner
 from repro.platform import cool_board, minimal_board
+from repro.workloads import build_graphs, workload_suite
+
+
+class UnpicklablePartitioner(GreedyPartitioner):
+    """A partitioner no process pool can ship (holds a thread lock)."""
+
+    def __init__(self):
+        super().__init__()
+        self._lock = threading.Lock()
+
+
+class SleepyPartitioner(GreedyPartitioner):
+    """Simulates a straggler job for the timeout tests."""
+
+    def __init__(self, sleep_s: float = 2.0):
+        super().__init__()
+        self.sleep_s = sleep_s
+
+    def solve(self, problem):
+        time.sleep(self.sleep_s)
+        return super().solve(problem)
 
 
 def _jobs():
@@ -75,6 +100,148 @@ class TestBatchRunner:
         assert job.name == "equalizer@minimal_board/greedy"
         assert FlowJob(graph=job.graph, arch=job.arch,
                        label="custom").name == "custom"
+
+    def test_default_job_name_tracks_flow_default_partitioner(self):
+        # partitioner=None means "whatever CoolFlow defaults to"; the
+        # displayed algorithm must come from that same source of truth
+        # (the old code hardcoded "milp" while the flow used milp[scipy])
+        job = FlowJob(graph=four_band_equalizer(words=8),
+                      arch=minimal_board())
+        default_name = CoolFlow.default_partitioner().name
+        assert default_name in job.name
+        assert job.name == \
+            f"equalizer@minimal_board/{default_name}"
+
+
+class TestStreamingRunner:
+    def test_progress_callback_streams_completions(self):
+        events = []
+
+        def progress(outcome, done, total):
+            events.append((outcome.job.label, done, total))
+
+        outcomes = BatchRunner(max_workers=4).run(_jobs(), progress=progress)
+        assert [o.job.label for o in outcomes] == \
+            ["eq/greedy", "eq/milp", "fuzzy/greedy", "eq/cosim"]
+        assert [d for _, d, _ in events] == [1, 2, 3, 4]
+        assert all(t == 4 for _, _, t in events)
+        # completion order covers exactly the submitted jobs
+        assert sorted(label for label, _, _ in events) == \
+            sorted(o.job.label for o in outcomes)
+
+    def test_progress_callback_on_serial_backend(self):
+        events = []
+        BatchRunner(backend="serial").run(
+            _jobs()[:2], progress=lambda o, d, t: events.append((d, t)))
+        assert events == [(1, 2), (2, 2)]
+
+    def test_process_pickling_failure_is_isolated(self):
+        # the pickling error surfaces on the future, *outside*
+        # _run_outcome's try/except -- it must still become one failed
+        # outcome instead of sinking the whole sweep
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="good"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=UnpicklablePartitioner(), label="bad"),
+                FlowJob(graph=equalizer, arch=cool_board(),
+                        partitioner=GreedyPartitioner(), label="good2")]
+        outcomes = BatchRunner(max_workers=2, backend="process").run(jobs)
+        assert [o.job.label for o in outcomes] == ["good", "bad", "good2"]
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].result is None
+        assert "pickle" in outcomes[1].error.lower()
+
+    def test_shared_stage_cache_across_jobs(self):
+        cache = StageCache(max_entries=512)
+        runner = BatchRunner(backend="serial", stage_cache=cache)
+        job = FlowJob(graph=four_band_equalizer(words=8),
+                      arch=minimal_board(),
+                      partitioner=GreedyPartitioner())
+        first, second = runner.run([job, job])
+        assert first.ok and second.ok
+        assert sum(second.result.stage_runs.values()) == 0, \
+            "second identical job must be served from the shared cache"
+        assert cache.stats()["hits"] > 0
+        assert first.result.report() == second.result.report()
+
+    def test_job_timeout_turns_straggler_into_failed_outcome(self):
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="fast"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=SleepyPartitioner(2.0), label="slow")]
+        started = time.perf_counter()
+        outcomes = BatchRunner(max_workers=2, backend="thread",
+                               job_timeout=0.4).run(jobs)
+        elapsed = time.perf_counter() - started
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "Timeout" in outcomes[1].error
+        assert elapsed < 1.5, "sweep must not wait for the straggler"
+
+    def test_bad_job_timeout_rejected(self):
+        with pytest.raises(ValueError, match="job_timeout"):
+            BatchRunner(job_timeout=0.0)
+
+    def test_queued_jobs_do_not_accrue_timeout_budget(self):
+        # per-job budget starts when the job *runs*: four ~sub-second
+        # jobs behind one worker all finish even though their summed
+        # wall-clock exceeds the budget
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=SleepyPartitioner(0.15),
+                        label=f"q{i}") for i in range(4)]
+        outcomes = BatchRunner(max_workers=1, backend="thread",
+                               job_timeout=0.45).run(jobs)
+        assert all(o.ok for o in outcomes), \
+            [o.error for o in outcomes if not o.ok]
+
+    def test_saturated_pool_cannot_stall_the_sweep(self):
+        # a straggler holds the only worker past its budget; the queued
+        # job must not wait indefinitely behind it -- once the pool is
+        # saturated by timed-out jobs, queued jobs accrue budget and
+        # fail as starved, so run() returns in bounded time
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=SleepyPartitioner(2.5), label="stuck"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="queued")]
+        started = time.perf_counter()
+        outcomes = BatchRunner(max_workers=1, backend="thread",
+                               job_timeout=0.3).run(jobs)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0, "sweep must not wait out the straggler"
+        assert not outcomes[0].ok and "budget" in outcomes[0].error
+        assert not outcomes[1].ok and "worker" in outcomes[1].error
+
+    def test_starvation_clock_clears_when_pool_recovers(self):
+        # a straggler times out but then actually returns: the queued
+        # jobs' starvation clocks must be dropped so quick jobs are not
+        # spuriously failed on a pool that recovered
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=SleepyPartitioner(1.0), label="late"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="q1"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="q2")]
+        outcomes = BatchRunner(max_workers=1, backend="thread",
+                               job_timeout=0.8).run(jobs)
+        assert not outcomes[0].ok and "budget" in outcomes[0].error
+        assert outcomes[1].ok, outcomes[1].error
+        assert outcomes[2].ok, outcomes[2].error
+
+    def test_single_job_process_batch_still_isolates_pickling(self):
+        # regression: the old in-process shortcut for tiny batches ran
+        # the job in the parent and silently skipped pickling
+        job = FlowJob(graph=four_band_equalizer(words=8),
+                      arch=minimal_board(),
+                      partitioner=UnpicklablePartitioner(), label="solo")
+        outcome = BatchRunner(max_workers=2, backend="process").run([job])[0]
+        assert not outcome.ok
+        assert "pickle" in outcome.error.lower()
 
 
 class TestDesignSpaceExplorer:
@@ -163,3 +330,103 @@ class TestDesignSpaceExplorer:
         assert p.dominates(q)
         assert not q.dominates(p)
         assert not p.dominates(p)
+
+    def test_infeasible_outlier_does_not_flatten_feasible_scores(self):
+        # regression: `worst` used to be computed over *all* points, so
+        # one wildly infeasible outlier flattened the scores ordering
+        # the feasible tier
+        from repro.flow import DesignPoint, ExplorationResult
+        base = dict(algorithm="a", arch="b", deadline=None, hw_nodes=1,
+                    sw_nodes=1)
+        good = DesignPoint(label="good", makespan=100, total_clbs=10,
+                           memory_words=10, feasible=True, **base)
+        better = DesignPoint(label="better", makespan=60, total_clbs=14,
+                             memory_words=10, feasible=True, **base)
+        outlier = DesignPoint(label="outlier", makespan=10 ** 9,
+                              total_clbs=10 ** 9, memory_words=10 ** 9,
+                              feasible=False, **base)
+        result = ExplorationResult(points=[good, better, outlier])
+        ranked = result.ranked(front=set())
+        assert ranked[-1] is outlier
+        # with feasible-set normalization the two feasible points score
+        # distinctly: `better` trades 40% makespan for 40% CLBs on very
+        # different scales
+        feasible = [p for p in ranked if p.feasible]
+        worst = [100, 14, 10]
+        scores = [sum(p.metrics[i] / worst[i] for i in range(3))
+                  for p in feasible]
+        assert feasible[0].label == "better"
+        assert scores[0] < scores[1]
+
+    def test_all_infeasible_falls_back_to_full_set(self):
+        from repro.flow import DesignPoint, ExplorationResult
+        base = dict(algorithm="a", arch="b", deadline=None, hw_nodes=1,
+                    sw_nodes=1, feasible=False)
+        p = DesignPoint(label="p", makespan=10, total_clbs=5,
+                        memory_words=3, **base)
+        q = DesignPoint(label="q", makespan=20, total_clbs=5,
+                        memory_words=3, **base)
+        ranked = ExplorationResult(points=[q, p]).ranked()
+        assert [r.label for r in ranked] == ["p", "q"]
+
+
+class TestMultiGraphExplorer:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        graphs = build_graphs(workload_suite(4, seed=9))
+        explorer = DesignSpaceExplorer(
+            graphs,
+            architectures=[minimal_board()],
+            partitioners=[GreedyPartitioner(), MilpPartitioner()],
+            runner=BatchRunner(backend="serial"),
+        )
+        return graphs, explorer, explorer.explore()
+
+    def test_cross_product_covers_graphs(self, exploration):
+        graphs, explorer, result = exploration
+        assert len(explorer.jobs()) == len(graphs) * 2
+        assert len(result.points) + len(result.failures) == len(graphs) * 2
+
+    def test_labels_prefixed_with_graph_name(self, exploration):
+        graphs, explorer, _ = exploration
+        labels = [job.label for job in explorer.jobs()]
+        assert len(set(labels)) == len(labels)
+        for graph in graphs:
+            assert any(label.startswith(f"{graph.name}@")
+                       for label in labels)
+
+    def test_pareto_is_judged_per_graph(self, exploration):
+        graphs, _, result = exploration
+        front = result.pareto()
+        by_graph = result.by_graph()
+        assert set(by_graph) == {g.name for g in graphs}
+        # a front point may only be dominated by rivals of another graph
+        for point in front:
+            rivals = [q for q in by_graph[point.graph] if q.feasible]
+            assert not any(q.dominates(point) for q in rivals)
+        # every graph with a feasible point is represented on the front
+        for name, points in by_graph.items():
+            if any(p.feasible for p in points):
+                assert any(p.graph == name for p in front)
+
+    def test_single_graph_stays_backward_compatible(self):
+        graph = four_band_equalizer(words=8)
+        explorer = DesignSpaceExplorer(
+            graph, architectures=[minimal_board()],
+            partitioners=[GreedyPartitioner()],
+            runner=BatchRunner(backend="serial"))
+        assert explorer.graph is graph
+        labels = [job.label for job in explorer.jobs()]
+        assert labels == ["minimal_board/greedy"]
+
+    def test_duplicate_graph_names_rejected(self):
+        graph = four_band_equalizer(words=8)
+        with pytest.raises(ValueError, match="unique"):
+            DesignSpaceExplorer([graph, graph],
+                                architectures=[minimal_board()],
+                                partitioners=[GreedyPartitioner()])
+
+    def test_empty_graphs_rejected(self):
+        with pytest.raises(ValueError, match="graph"):
+            DesignSpaceExplorer([], architectures=[minimal_board()],
+                                partitioners=[GreedyPartitioner()])

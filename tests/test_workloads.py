@@ -1,0 +1,162 @@
+"""Tests for the synthetic workload generators and suites."""
+
+import pytest
+
+from repro.graph import execute, validate_graph
+from repro.workloads import (ChainSpec, DctSpec, EqualizerSpec, ForkJoinSpec,
+                             LayeredDagSpec, TreeSpec, WorkloadError,
+                             build_graphs, stimuli_for, workload_suite)
+
+ALL_SPECS = [LayeredDagSpec(seed=1), ForkJoinSpec(seed=2), ChainSpec(seed=3),
+             TreeSpec(seed=4), EqualizerSpec(seed=5), DctSpec(seed=6)]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.family)
+    def test_generated_graphs_are_valid(self, spec):
+        graph = spec.build()
+        assert validate_graph(graph) == []
+        assert graph.is_acyclic()
+        assert graph.internal_nodes()
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.family)
+    def test_generated_graphs_are_executable(self, spec):
+        graph = spec.build()
+        stimuli = stimuli_for(graph, seed=9)
+        values = execute(graph, stimuli)
+        for node in graph.outputs():
+            assert node.name in values
+            assert len(values[node.name]) == node.words
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.family)
+    def test_build_is_deterministic(self, spec):
+        first, second = spec.build(), spec.build()
+        assert first.fingerprint() == second.fingerprint()
+        assert first.name == second.name
+        assert [n.name for n in first.nodes] == [n.name for n in second.nodes]
+
+    def test_spec_fingerprint_is_content_based(self):
+        assert LayeredDagSpec(seed=1).fingerprint() == \
+            LayeredDagSpec(seed=1).fingerprint()
+        assert LayeredDagSpec(seed=1).fingerprint() != \
+            LayeredDagSpec(seed=2).fingerprint()
+        assert LayeredDagSpec(seed=1).fingerprint() != \
+            LayeredDagSpec(seed=1, ccr=2.0).fingerprint()
+        # different families never collide even on identical fields
+        assert ChainSpec(seed=1).fingerprint() != \
+            TreeSpec(seed=1).fingerprint()
+
+    def test_seed_changes_topology(self):
+        a = LayeredDagSpec(seed=1).build()
+        b = LayeredDagSpec(seed=2).build()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_layered_shape_knobs(self):
+        spec = LayeredDagSpec(nodes=14, layers=4, inputs=2, outputs=2,
+                              seed=7)
+        graph = spec.build()
+        assert len(graph.internal_nodes()) == 14
+        assert len(graph.inputs()) == 2
+        assert len(graph.outputs()) == 2
+        # layered construction bounds the depth: input + layers + at
+        # most one same-layer sink hop + output
+        assert graph.depth() <= 4 + 3
+        # every input feeds the dataflow
+        for node in graph.inputs():
+            assert graph.out_edges(node.name)
+
+    def test_ccr_scales_payload(self):
+        small = LayeredDagSpec(nodes=12, seed=3, ccr=0.5).build()
+        big = LayeredDagSpec(nodes=12, seed=3, ccr=4.0).build()
+        assert big.stats()["payload_bits"] > small.stats()["payload_bits"]
+
+    def test_fork_join_shape(self):
+        graph = ForkJoinSpec(branches=3, depth=2, seed=1).build()
+        # in + src + 3*2 branch nodes + join + out
+        assert len(graph) == 2 + 1 + 6 + 1
+        assert len(graph.successors("src")) == 3
+        assert len(graph.predecessors("join")) == 3
+
+    def test_chain_shape(self):
+        graph = ChainSpec(length=5, seed=1).build()
+        assert len(graph.internal_nodes()) == 5
+        assert graph.depth() == 7  # input + 5 stages + output
+
+    def test_tree_shape(self):
+        graph = TreeSpec(depth=2, arity=3, seed=1).build()
+        leaves = [n for n in graph.node_names if n.startswith("leaf")]
+        assert len(leaves) == 9
+
+    def test_equalizer_and_dct_families(self):
+        eq = EqualizerSpec(bands=3, words=8, taps_per_band=3, seed=1).build()
+        assert len([n for n in graph_names(eq) if n.startswith("band")]) == 3
+        dct = DctSpec(points=4, coefficients=2, seed=1).build()
+        assert dct.name == "dct_p4_c2_s1"
+        # renaming kept structure valid and fingerprints distinct per seed
+        assert DctSpec(points=4, coefficients=2, seed=2).build() \
+            .fingerprint() != dct.fingerprint()
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            LayeredDagSpec(nodes=2, layers=5).build()
+        with pytest.raises(WorkloadError):
+            ChainSpec(length=0).build()
+        with pytest.raises(WorkloadError):
+            TreeSpec(arity=1).build()
+        with pytest.raises(WorkloadError):
+            ChainSpec(ccr=0.0).build()
+
+
+def graph_names(graph):
+    return graph.node_names
+
+
+class TestSuite:
+    def test_suite_is_deterministic(self):
+        a = workload_suite(20, seed=4)
+        b = workload_suite(20, seed=4)
+        assert [s.fingerprint() for s in a] == [s.fingerprint() for s in b]
+        assert [g.fingerprint() for g in build_graphs(a)] == \
+            [g.fingerprint() for g in build_graphs(b)]
+
+    def test_suite_seed_matters(self):
+        a = workload_suite(10, seed=1)
+        b = workload_suite(10, seed=2)
+        assert [s.fingerprint() for s in a] != [s.fingerprint() for s in b]
+
+    def test_suite_names_and_fingerprints_unique(self):
+        graphs = build_graphs(workload_suite(30, seed=5))
+        names = [g.name for g in graphs]
+        prints = [g.fingerprint() for g in graphs]
+        assert len(set(names)) == len(names)
+        assert len(set(prints)) == len(prints)
+
+    def test_suite_cycles_families(self):
+        specs = workload_suite(12, seed=0)
+        families = [s.family for s in specs]
+        assert families[:6] == ["layered", "fork_join", "chain", "tree",
+                                "equalizer", "dct"]
+        assert families[:6] == families[6:]
+
+    def test_suite_family_filter(self):
+        specs = workload_suite(5, seed=0, families=("chain",))
+        assert all(s.family == "chain" for s in specs)
+
+    def test_suite_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            workload_suite(0)
+        with pytest.raises(WorkloadError):
+            workload_suite(3, families=())
+        with pytest.raises(WorkloadError):
+            workload_suite(3, families=("nope",))
+
+    def test_stimuli_are_deterministic_and_shaped(self):
+        graph = LayeredDagSpec(seed=8).build()
+        a = stimuli_for(graph, seed=2)
+        b = stimuli_for(graph, seed=2)
+        assert a == b
+        assert stimuli_for(graph, seed=3) != a
+        for node in graph.inputs():
+            vec = a[node.name]
+            assert len(vec) == node.words
+            assert all(0 <= v < (1 << node.width) for v in vec)
