@@ -24,11 +24,12 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (apps, codegen, comm, controllers, estimate, flow, graph, hls,
-               partition, platform, schedule, sim, spec, stg)  # noqa: F401
+from . import (apps, automata, codegen, comm, controllers, estimate, flow,
+               graph, hls, partition, platform, schedule, sim, spec, stg,
+               workloads)  # noqa: F401
 
 __all__ = [
-    "apps", "codegen", "comm", "controllers", "estimate", "flow", "graph",
-    "hls", "partition", "platform", "schedule", "sim", "spec", "stg",
-    "__version__",
+    "apps", "automata", "codegen", "comm", "controllers", "estimate",
+    "flow", "graph", "hls", "partition", "platform", "schedule", "sim",
+    "spec", "stg", "workloads", "__version__",
 ]

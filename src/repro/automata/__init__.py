@@ -1,0 +1,23 @@
+"""Shared automaton kernel: one core, one minimizer, one executor.
+
+``repro.stg`` and ``repro.controllers.fsm`` are thin views over this
+package; see :mod:`repro.automata.core` for the design notes.
+"""
+
+from .core import (AutomataError, Automaton, AutomatonBuilder, SymbolTable,
+                   Transition)
+from .encoding import encode_automaton, encode_names
+from .executor import Firing, SequentialRunner, TokenExecutor
+from .minimize import (PartitionRefinement, minimize_automaton, quotient,
+                       refine_partition)
+from .product import (CompositionConfig, SynchronousComposition,
+                      internal_signals, synchronous_product)
+
+__all__ = [
+    "AutomataError", "Automaton", "AutomatonBuilder", "SymbolTable",
+    "Transition", "encode_automaton", "encode_names", "Firing",
+    "SequentialRunner", "TokenExecutor", "PartitionRefinement",
+    "minimize_automaton", "quotient", "refine_partition",
+    "CompositionConfig", "SynchronousComposition", "internal_signals",
+    "synchronous_product",
+]

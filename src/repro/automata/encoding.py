@@ -1,0 +1,41 @@
+"""State encodings for code generation.
+
+Binary (minimal-width counter), one-hot (one flip-flop per state, the
+XC4000-friendly choice) and gray (single-bit-change sequence) encodings
+over an ordered state list.  Both the FSM layer and the VHDL emitter
+consume this -- the encoding lives in the kernel so every view assigns
+identical bit patterns to identical automata.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .core import Automaton, AutomataError
+
+__all__ = ["encode_names", "encode_automaton"]
+
+SCHEMES = ("binary", "one_hot", "gray")
+
+
+def encode_names(names: Sequence[str], scheme: str = "binary"
+                 ) -> dict[str, str]:
+    """Assign a bit pattern to every name, in list order."""
+    n = len(names)
+    if n == 0:
+        raise AutomataError("no states to encode")
+    if scheme == "one_hot":
+        return {s: format(1 << i, f"0{n}b") for i, s in enumerate(names)}
+    width = max(1, (n - 1).bit_length())
+    if scheme == "binary":
+        return {s: format(i, f"0{width}b") for i, s in enumerate(names)}
+    if scheme == "gray":
+        return {s: format(i ^ (i >> 1), f"0{width}b")
+                for i, s in enumerate(names)}
+    raise AutomataError(f"unknown encoding scheme {scheme!r}")
+
+
+def encode_automaton(automaton: Automaton, scheme: str = "binary"
+                     ) -> dict[str, str]:
+    """State-name to bit-pattern map of ``automaton``."""
+    return encode_names(automaton.state_names, scheme)

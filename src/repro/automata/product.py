@@ -1,0 +1,225 @@
+"""Synchronous composition and product of communicating Mealy automata.
+
+The synthesized system controller is a *set of communicating FSMs*: a
+phase FSM and one sequencer per processing unit, talking over latched
+channels (``go``, ``phase_done_*``) while the environment's done pulses
+are latched into a flag register cleared by ``clear_flags``.  This
+module gives that composition a kernel-level home:
+
+* :class:`SynchronousComposition` -- the lazy product: all components
+  step once per cycle on the shared input view; hidden channel signals
+  emitted in cycle *t* become visible from cycle *t+1* until the
+  composition flushes.  This is the execution model of
+  :class:`repro.controllers.ControllerHarness` and of the co-simulated
+  controller.
+* :func:`synchronous_product` -- the materialized product automaton:
+  explicit BFS over reachable composite configurations with transitions
+  labelled by external input pulses, so the composed behaviour can be
+  minimized, fingerprinted and compared like any other automaton.
+
+The composition semantics is deliberately exactly the synthesized
+hardware's: per-cycle lockstep, one-cycle channel delay, latch-and-hold
+flags, per-component consume-once broadcast channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .core import Automaton, AutomataError, AutomatonBuilder
+from .executor import SequentialRunner
+
+__all__ = ["CompositionConfig", "SynchronousComposition",
+           "internal_signals", "synchronous_product"]
+
+
+def internal_signals(components: Sequence[Automaton]) -> tuple[str, ...]:
+    """Signals produced by one component and consumed by another.
+
+    These are the composition's hidden channels: they never cross the
+    composition boundary, they ride the internal latches instead.
+    """
+    produced: set[str] = set()
+    consumed: set[str] = set()
+    for component in components:
+        produced.update(component.output_names())
+        consumed.update(component.input_names())
+    return tuple(sorted(produced & consumed))
+
+
+@dataclass(frozen=True)
+class CompositionConfig:
+    """How a set of automata communicate.
+
+    ``internal`` channels are hidden and latched (visible from the
+    cycle after emission).  ``clear_action`` names the action that
+    clears the external flag latch (the controller's ``clear_flags``).
+    ``consume_once`` channels are broadcast-consumed: a component sees
+    them only until it first leaves its initial state (the ``go``
+    release is one activation per sequencer).  When the component at
+    ``flush_component`` sits in one of ``flush_states`` after a cycle,
+    internal latches and consume markers reset -- the composition's
+    reset phase.
+    """
+
+    internal: tuple[str, ...] = ()
+    clear_action: str | None = None
+    consume_once: tuple[str, ...] = ()
+    flush_component: int | None = None
+    flush_states: tuple[str, ...] = ()
+
+
+class SynchronousComposition:
+    """Cycle-lockstep execution of communicating automata."""
+
+    def __init__(self, components: Sequence[Automaton],
+                 config: CompositionConfig | None = None) -> None:
+        if not components:
+            raise AutomataError("composition needs at least one component")
+        for component in components:
+            if component.initial is None:
+                raise AutomataError(f"component {component.name!r} has no "
+                                    f"initial state")
+        self.components = tuple(components)
+        if config is None:
+            config = CompositionConfig(internal=internal_signals(components))
+        self.config = config
+        self._runners = [SequentialRunner(c) for c in components]
+        self._internal = frozenset(config.internal)
+        self._consume_once = frozenset(config.consume_once)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.states: list[int] = [c.initial for c in self.components]
+        #: latched external pulses (the done-flag register)
+        self.flags: set[str] = set()
+        #: latched hidden channel signals
+        self.internal: set[str] = set()
+        #: per-component consumed broadcast channels
+        self.consumed: list[set[str]] = [set() for _ in self.components]
+        self.actions_log: list[tuple[str, ...]] = []
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        return tuple(c.name_of(s)
+                     for c, s in zip(self.components, self.states))
+
+    def configuration(self) -> tuple:
+        """Hashable snapshot of the composite configuration."""
+        return (tuple(self.states), frozenset(self.flags),
+                frozenset(self.internal),
+                tuple(frozenset(c) for c in self.consumed))
+
+    # ------------------------------------------------------------------
+    def cycle(self, pulses: Iterable[str] | None = None,
+              held: Iterable[str] | None = None) -> list[str]:
+        """One lockstep clock edge.
+
+        ``pulses`` are latched into the flag register before stepping;
+        ``held`` signals are visible this cycle only (e.g. ``restart``).
+        Returns the externally visible actions in emission order.
+        """
+        if pulses:
+            self.flags.update(pulses)
+        inputs = self.flags | self.internal | set(held or ())
+
+        emitted: list[str] = []
+        for index, (component, runner) in enumerate(
+                zip(self.components, self._runners)):
+            visible = inputs - self.consumed[index]
+            state = self.states[index]
+            new_state, out_ids = runner.step(
+                state, component.symbols.ids_of(visible))
+            if state == component.initial and new_state != component.initial:
+                self.consumed[index] |= self._consume_once
+            self.states[index] = new_state
+            emitted.extend(component.symbols.names_of(out_ids))
+
+        external: list[str] = []
+        for action in emitted:
+            if action == self.config.clear_action:
+                self.flags.clear()
+            elif action in self._internal:
+                self.internal.add(action)
+            else:
+                external.append(action)
+
+        flush = self.config.flush_component
+        if flush is not None:
+            name = self.components[flush].name_of(self.states[flush])
+            if name in self.config.flush_states:
+                self.internal.clear()
+                for consumed in self.consumed:
+                    consumed.clear()
+        if external:
+            self.actions_log.append(tuple(external))
+        return external
+
+
+def synchronous_product(components: Sequence[Automaton],
+                        config: CompositionConfig | None = None,
+                        letters: Sequence[Iterable[str]] | None = None,
+                        max_states: int = 4096) -> Automaton:
+    """Materialize the reachable product automaton of a composition.
+
+    Composite configurations become product states; every cycle under
+    an input *letter* (a set of external pulses) becomes a transition
+    whose conditions are the letter and whose actions are the external
+    outputs of that cycle.  ``letters`` defaults to the silent letter
+    plus one single-pulse letter per external input signal -- the
+    alphabet under which controller compositions are driven in closed
+    loop.  Raises :class:`AutomataError` when the reachable set exceeds
+    ``max_states``.
+    """
+    scratch = SynchronousComposition(components, config)
+    if letters is None:
+        hidden = set(scratch.config.internal)
+        externals = sorted({name for c in components
+                            for name in c.input_names()} - hidden)
+        letters = [frozenset()] + [frozenset({s}) for s in externals]
+    letters = [frozenset(letter) for letter in letters]
+
+    def state_label(config_key: tuple, index: int) -> str:
+        names = "|".join(c.name_of(s)
+                         for c, s in zip(scratch.components, config_key[0]))
+        return f"p{index}[{names}]"
+
+    initial_key = scratch.configuration()
+    labels: dict[tuple, str] = {initial_key: state_label(initial_key, 0)}
+    builder = AutomatonBuilder("x".join(c.name for c in components))
+    builder.add_state(labels[initial_key], key=initial_key)
+    pending = [initial_key]
+    transitions: list[tuple[str, str, frozenset, tuple[str, ...]]] = []
+    while pending:
+        config_key = pending.pop()
+        for letter in letters:
+            _restore(scratch, config_key)
+            actions = scratch.cycle(pulses=letter)
+            successor = scratch.configuration()
+            if successor not in labels:
+                if len(labels) >= max_states:
+                    raise AutomataError(
+                        f"product exceeds {max_states} composite states")
+                labels[successor] = state_label(successor, len(labels))
+                builder.add_state(labels[successor], key=successor)
+                pending.append(successor)
+            transitions.append((labels[config_key], labels[successor],
+                                letter, tuple(actions)))
+    for src, dst, letter, actions in transitions:
+        builder.add_transition(src, dst, conditions=sorted(letter),
+                               actions=actions)
+    return builder.build(initial=labels[initial_key])
+
+
+def _restore(composition: SynchronousComposition, config_key: tuple) -> None:
+    """Load a configuration snapshot into ``composition``."""
+    states, flags, internal, consumed = config_key
+    composition.states = list(states)
+    composition.flags = set(flags)
+    composition.internal = set(internal)
+    composition.consumed = [set(c) for c in consumed]
+    # the scratch composition is replayed once per (state, letter) edge;
+    # nothing reads its log during materialization, so don't grow it
+    composition.actions_log.clear()

@@ -2,11 +2,11 @@
 
 from .vhdl import HEADER, datapath_to_vhdl, fsm_to_vhdl
 from .vhdl_check import VhdlCheckError, check_vhdl
-from .c import node_function_c, software_to_c
+from .c import node_function_c, sequencer_order, software_to_c
 from .netlist import Component, Net, Netlist, generate_netlist, netlist_text
 
 __all__ = [
     "HEADER", "datapath_to_vhdl", "fsm_to_vhdl", "VhdlCheckError",
-    "check_vhdl", "node_function_c", "software_to_c", "Component", "Net",
-    "Netlist", "generate_netlist", "netlist_text",
+    "check_vhdl", "node_function_c", "sequencer_order", "software_to_c",
+    "Component", "Net", "Netlist", "generate_netlist", "netlist_text",
 ]

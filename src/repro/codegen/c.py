@@ -13,6 +13,9 @@ unit:
   registers;
 * a main loop that walks the processor's schedule order -- the software
   mirror of the sequencer FSM the system controller runs in hardware.
+  When the synthesized controller is available the order is read off
+  its sequencer automaton (the kernel view), so the C main loop and
+  the hardware sequencer provably walk the same chain.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from ..graph.partition import Partition
 from ..graph.taskgraph import TaskGraph, TaskNode
 from ..schedule.schedule import Schedule
 
-__all__ = ["software_to_c", "node_function_c"]
+__all__ = ["software_to_c", "node_function_c", "sequencer_order"]
 
 #: Control-register base: one start and one done bit per node, indexed
 #: by the node's position in the processor's schedule.
@@ -112,11 +115,61 @@ def node_function_c(node: TaskNode, graph: TaskGraph) -> str:
     return "\n".join(lines)
 
 
+def sequencer_order(controller, processor: str) -> list[str] | None:
+    """Node order a controller's sequencer walks, via the kernel view.
+
+    Follows the sequencer automaton's chain from ``idle`` back to
+    ``idle``, collecting the ``start_*`` actions in firing order.
+    Returns ``None`` when the controller has no sequencer for
+    ``processor``.
+    """
+    sequencer = controller.sequencers.get(processor)
+    if sequencer is None:
+        return None
+    automaton = sequencer.to_automaton()
+    symbols = automaton.symbols
+    order: list[str] = []
+    state = automaton.initial
+    visited: set[int] = set()
+    while state not in visited:
+        visited.add(state)
+        transitions = automaton.out(state)
+        if not transitions:
+            break
+        if len(transitions) != 1:
+            # a projected schedule chain has exactly one successor per
+            # state; anything else and the derived order would silently
+            # follow an arbitrary branch
+            raise ValueError(
+                f"sequencer of {processor!r} is not a chain: state "
+                f"{automaton.name_of(state)!r} has {len(transitions)} "
+                f"successors")
+        transition = transitions[0]
+        for action in symbols.names_of(transition.actions):
+            if action.startswith("start_"):
+                order.append(action[len("start_"):])
+        state = transition.dst
+    return order
+
+
 def software_to_c(graph: TaskGraph, partition: Partition,
                   schedule: Schedule, plan: CommPlan,
-                  processor: str) -> str:
-    """The complete C program of one processor."""
+                  processor: str, controller=None) -> str:
+    """The complete C program of one processor.
+
+    With ``controller`` (a synthesized
+    :class:`~repro.controllers.SystemController`) the main-loop order is
+    derived from the hardware sequencer's automaton and cross-checked
+    against the schedule -- the generated software provably mirrors the
+    synthesized hardware chain.
+    """
     order = [e.node for e in schedule.on_resource(processor)]
+    if controller is not None:
+        mirrored = sequencer_order(controller, processor)
+        if mirrored is not None and mirrored != order:
+            raise ValueError(
+                f"sequencer of {processor!r} walks {mirrored}, schedule "
+                f"says {order}: controller and schedule disagree")
     lines = [
         f"/* Generated by repro (COOL co-synthesis reproduction).",
         f" * Software partition of {graph.name!r} for processor "

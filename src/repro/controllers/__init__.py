@@ -3,6 +3,7 @@
 from .fsm import Fsm, FsmError, FsmTransition, encode_states
 from .system_controller import (ControllerHarness, SystemController,
                                 synthesize_system_controller)
+from .verify import CompositionCheck, verify_composition
 from .datapath_controller import (DatapathController,
                                   synthesize_datapath_controller)
 from .io_controller import IoController, synthesize_io_controller
@@ -11,6 +12,7 @@ from .bus_arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
 __all__ = [
     "Fsm", "FsmError", "FsmTransition", "encode_states",
     "ControllerHarness", "SystemController", "synthesize_system_controller",
+    "CompositionCheck", "verify_composition",
     "DatapathController", "synthesize_datapath_controller", "IoController",
     "synthesize_io_controller", "Arbiter", "FixedPriorityArbiter",
     "RoundRobinArbiter",

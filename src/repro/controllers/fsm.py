@@ -8,14 +8,24 @@ transitions are *prioritized in list order*, which resolves condition
 overlaps deterministically (the VHDL emitter generates an if/elsif
 cascade in the same order).
 
-The class supports everything downstream needs: validation, cycle-level
-simulation, classical state minimization (partition refinement) and
-state encoding (binary / one-hot / gray) for code generation.
+Since the automaton-kernel refactor this class is a thin mutable view
+over :mod:`repro.automata`: simulation runs on the kernel's
+:class:`~repro.automata.SequentialRunner`, minimization on the shared
+worklist partition refinement (:func:`repro.automata.refine_partition`,
+ordered signatures -- priority is observable), and state encodings come
+from :mod:`repro.automata.encoding`.  The interned automaton view is
+cached and rebuilt only after mutations through :meth:`Fsm.add_state` /
+:meth:`Fsm.add_transition`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..automata import (AutomataError, Automaton, AutomatonBuilder,
+                        SequentialRunner, encode_names, quotient,
+                        refine_partition)
+from ..fingerprint import content_hash
 
 __all__ = ["FsmError", "FsmTransition", "Fsm", "encode_states"]
 
@@ -51,6 +61,10 @@ class Fsm:
     transitions: list[FsmTransition] = field(default_factory=list)
     #: Moore outputs: signals asserted while residing in a state.
     state_outputs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Mutation counter invalidating the cached kernel view.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _kernel_cache: tuple | None = field(default=None, init=False,
+                                        repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def add_state(self, name: str, outputs: tuple[str, ...] = ()) -> str:
@@ -61,6 +75,7 @@ class Fsm:
             self.state_outputs[name] = tuple(sorted(outputs))
         if self.initial is None:
             self.initial = name
+        self._version += 1
         return name
 
     def add_transition(self, src: str, dst: str,
@@ -72,7 +87,49 @@ class Fsm:
                                f"{endpoint!r}")
         transition = FsmTransition(src, dst, conditions, actions)
         self.transitions.append(transition)
+        self._version += 1
         return transition
+
+    # ------------------------------------------------------------------
+    def to_automaton(self) -> Automaton:
+        """The interned kernel view (cached until the next mutation).
+
+        Mutations are expected to go through ``add_state`` /
+        ``add_transition``; the container lengths in the cache key
+        additionally catch direct appends to the public fields.
+        In-place *replacement* of an existing element
+        (``fsm.transitions[0] = ...``) is outside the contract and
+        would be served the stale view -- build a fresh ``Fsm`` for
+        structural edits instead.
+        """
+        cache_key = (self._version, self.initial, len(self.states),
+                     len(self.transitions), len(self.state_outputs))
+        if self._kernel_cache is not None \
+                and self._kernel_cache[0] == cache_key:
+            return self._kernel_cache[1]
+        builder = AutomatonBuilder(self.name)
+        for state in self.states:
+            builder.add_state(state,
+                              outputs=self.state_outputs.get(state, ()))
+        for t in self.transitions:
+            builder.add_transition(t.src, t.dst, conditions=t.conditions,
+                                   actions=t.actions)
+        automaton = builder.build(initial=self.initial)
+        self._kernel_cache = (cache_key, automaton,
+                              SequentialRunner(automaton))
+        return automaton
+
+    def _runner(self) -> SequentialRunner:
+        self.to_automaton()
+        return self._kernel_cache[2]
+
+    def fingerprint(self) -> str:
+        """Content hash over states, outputs and transitions."""
+        return content_hash((
+            self.name, self.initial, tuple(self.states),
+            tuple(sorted(self.state_outputs.items())),
+            tuple((t.src, t.dst, t.conditions, t.actions)
+                  for t in self.transitions)))
 
     # ------------------------------------------------------------------
     def out_transitions(self, state: str) -> list[FsmTransition]:
@@ -122,70 +179,60 @@ class Fsm:
         the fired transition plus Moore outputs of the *current* state).
         With no enabled transition the machine stays put.
         """
-        moore = self.state_outputs.get(state, ())
-        for transition in self.out_transitions(state):
-            if transition.enabled(inputs):
-                return transition.dst, tuple(sorted(
-                    set(transition.actions) | set(moore)))
-        return state, tuple(moore)
+        automaton = self.to_automaton()
+        index = automaton.index_of(state)
+        if index is None:
+            return state, ()
+        next_index, out_ids = self._runner().step(
+            index, automaton.symbols.ids_of(inputs))
+        return automaton.name_of(next_index), \
+            automaton.symbols.names_of(out_ids)
 
     def simulate(self, input_trace: list[set[str]]) -> list[tuple[str,
                                                                   tuple]]:
         """Run from the initial state; one (state, outputs) pair per cycle."""
         if self.initial is None:
             raise FsmError(f"fsm {self.name!r} has no initial state")
-        log: list[tuple[str, tuple]] = []
-        state = self.initial
-        for inputs in input_trace:
-            state, outputs = self.step(state, set(inputs))
-            log.append((state, outputs))
-        return log
+        automaton = self.to_automaton()
+        runner = self._runner()
+        symbols = automaton.symbols
+        kernel_log = runner.trace(automaton.initial,
+                                  [symbols.ids_of(inputs)
+                                   for inputs in input_trace])
+        return [(automaton.name_of(state), symbols.names_of(out_ids))
+                for state, out_ids in kernel_log]
 
     # ------------------------------------------------------------------
     def minimize(self) -> "Fsm":
-        """Merge behaviourally equivalent states (partition refinement)."""
-        block_of: dict[str, int] = {}
-        keys: dict[tuple, int] = {}
-        for state in self.states:
-            key = (self.state_outputs.get(state, ()),
-                   state == self.initial)
-            block_of[state] = keys.setdefault(key, len(keys))
+        """Merge behaviourally equivalent states.
 
-        changed = True
-        while changed:
-            changed = False
-            signature: dict[str, tuple] = {}
-            for state in self.states:
-                outs = tuple(
-                    (t.conditions, t.actions, block_of[t.dst])
-                    for t in self.out_transitions(state))
-                signature[state] = (block_of[state], outs)
-            keys = {}
-            refined: dict[str, int] = {}
-            for state in self.states:
-                refined[state] = keys.setdefault(signature[state], len(keys))
-            if refined != block_of:
-                block_of = refined
-                changed = True
-
-        representative: dict[int, str] = {}
-        for state in self.states:
-            representative.setdefault(block_of[state], state)
-
+        Delegates to the kernel's worklist partition refinement with
+        *ordered* signatures (transition priority is observable).  The
+        representative of each block is its initial state when present,
+        so the canonical entry name callers reference always survives;
+        otherwise the earliest-declared state (deterministic).
+        """
+        automaton = self.to_automaton()
+        refinement = refine_partition(automaton, ordered=True)
+        if refinement.merged == 0:
+            # already minimal: hand back an equal fresh machine without
+            # replaying the add_state/add_transition validation
+            return Fsm(self.name, list(self.states), self.initial,
+                       list(self.transitions), dict(self.state_outputs))
+        # the kernel quotient does the representative rewiring and the
+        # priority-preserving transition dedup; convert its view back
+        merged = quotient(automaton, refinement)
+        symbols = merged.symbols
         reduced = Fsm(self.name)
-        for state in self.states:
-            if representative[block_of[state]] == state:
-                reduced.add_state(state, self.state_outputs.get(state, ()))
-        reduced.initial = representative[block_of[self.initial]] \
-            if self.initial else None
-        seen: set[tuple] = set()
-        for t in self.transitions:
-            src = representative[block_of[t.src]]
-            dst = representative[block_of[t.dst]]
-            key = (src, dst, t.conditions, t.actions)
-            if key not in seen:
-                seen.add(key)
-                reduced.add_transition(src, dst, t.conditions, t.actions)
+        for index, state in enumerate(merged.state_names):
+            reduced.add_state(state, symbols.names_of(merged.outputs_of(index)))
+        reduced.initial = merged.name_of(merged.initial) \
+            if merged.initial is not None else None
+        for t in merged.transitions:
+            reduced.add_transition(merged.name_of(t.src),
+                                   merged.name_of(t.dst),
+                                   symbols.names_of(t.conditions),
+                                   symbols.names_of(t.actions))
         return reduced
 
     def stats(self) -> dict:
@@ -195,22 +242,13 @@ class Fsm:
 
 
 def encode_states(fsm: Fsm, scheme: str = "binary") -> dict[str, str]:
-    """Assign a bit pattern to every state.
+    """Assign a bit pattern to every state (kernel encodings).
 
     ``binary`` -- minimal-width counter encoding; ``one_hot`` -- one
     flip-flop per state (the XC4000-friendly choice); ``gray`` --
     single-bit-change sequence in state order.
     """
-    n = len(fsm.states)
-    if n == 0:
-        raise FsmError(f"fsm {fsm.name!r} has no states to encode")
-    if scheme == "one_hot":
-        return {s: format(1 << i, f"0{n}b")
-                for i, s in enumerate(fsm.states)}
-    width = max(1, (n - 1).bit_length())
-    if scheme == "binary":
-        return {s: format(i, f"0{width}b") for i, s in enumerate(fsm.states)}
-    if scheme == "gray":
-        return {s: format(i ^ (i >> 1), f"0{width}b")
-                for i, s in enumerate(fsm.states)}
-    raise FsmError(f"unknown encoding scheme {scheme!r}")
+    try:
+        return encode_names(fsm.states, scheme)
+    except AutomataError as exc:
+        raise FsmError(f"fsm {fsm.name!r}: {exc}") from exc

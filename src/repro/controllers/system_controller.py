@@ -19,6 +19,13 @@ communicating FSMs, all derived from the STG:
   guards read these flags, which is how cross-unit synchronisation
   becomes plain combinational logic.
 
+Every synthesized FSM is state-minimized through the shared kernel
+minimizer before it ships (``SystemController.stats()`` reports the
+before/after counts), and the communicating composition executes on the
+kernel's :class:`~repro.automata.SynchronousComposition` -- the same
+product operator :func:`repro.controllers.verify.verify_composition`
+uses to prove the composed controller trace-equivalent to the STG.
+
 Everything is implemented in hardware "because hardware allows
 concurrent processes" (paper), which is why the composition-of-FSMs
 structure is the faithful one.
@@ -28,6 +35,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..automata import CompositionConfig, SynchronousComposition
+from ..fingerprint import content_hash
+from ..stg.builder import global_state
 from ..stg.states import StateKind, Stg, StgError
 from .fsm import Fsm
 
@@ -44,6 +54,9 @@ class SystemController:
     sequencers: dict[str, Fsm] = field(default_factory=dict)
     #: task-graph nodes whose done pulses are latched as flags
     done_flags: tuple[str, ...] = ()
+    #: per-FSM state counts before kernel minimization (FSM name ->
+    #: count); empty when synthesis ran with ``minimize=False``.
+    unminimized_states: dict[str, int] = field(default_factory=dict)
 
     @property
     def fsms(self) -> list[Fsm]:
@@ -70,7 +83,19 @@ class SystemController:
         internal = {"go"} | {f"phase_done_{r}" for r in self.sequencers}
         return sorted(signals - internal)
 
+    def fingerprint(self) -> str:
+        """Content hash over the complete composition (pipeline cache key)."""
+        return content_hash((
+            self.name, self.done_flags,
+            self.phase_fsm.fingerprint(),
+            tuple((r, f.fingerprint())
+                  for r, f in sorted(self.sequencers.items()))))
+
     def stats(self) -> dict:
+        minimization = {
+            fsm.name: {"before": self.unminimized_states[fsm.name],
+                       "after": len(fsm.states)}
+            for fsm in self.fsms if fsm.name in self.unminimized_states}
         return {
             "fsms": len(self.fsms),
             "total_states": self.total_states,
@@ -80,6 +105,9 @@ class SystemController:
             "done_flags": len(self.done_flags),
             "inputs": len(self.inputs),
             "outputs": len(self.outputs),
+            "minimization": minimization,
+            "states_saved": sum(m["before"] - m["after"]
+                                for m in minimization.values()),
         }
 
 
@@ -87,9 +115,14 @@ def _chain_of(stg: Stg, resource: str) -> list[str]:
     """Ordered STG states of one unit's chain, following transitions.
 
     Works on both the full and the minimized STG: entry is the successor
-    of X that lies on ``resource``; the chain ends at D.
+    of the global EXEC state that lies on ``resource``; the chain ends
+    at the global DONE state.  Both anchors are found structurally by
+    kind (:func:`repro.stg.builder.global_state`), and termination is
+    guaranteed by cycle detection instead of an arbitrary step bound.
     """
-    entries = [t.dst for t in stg.out_transitions("X")
+    exec_state = global_state(stg, StateKind.GLOBAL_EXEC)
+    done_state = global_state(stg, StateKind.GLOBAL_DONE)
+    entries = [t.dst for t in stg.out_transitions(exec_state.name)
                if stg.state(t.dst).resource == resource]
     if not entries:
         return []
@@ -98,17 +131,18 @@ def _chain_of(stg: Stg, resource: str) -> list[str]:
                        f"entries in the STG")
     chain = []
     current = entries[0]
-    guard = 0
-    while current != "D":
+    visited: set[str] = set()
+    while current != done_state.name:
+        if current in visited:
+            raise StgError(f"chain of {resource!r} revisits state "
+                           f"{current!r}: not a schedule chain")
+        visited.add(current)
         chain.append(current)
         outs = stg.out_transitions(current)
         if len(outs) != 1:
             raise StgError(f"state {current!r}: chain expects exactly one "
                            f"successor, found {len(outs)}")
         current = outs[0].dst
-        guard += 1
-        if guard > 10_000:
-            raise StgError(f"chain of {resource!r} does not terminate")
     return chain
 
 
@@ -131,7 +165,8 @@ def _sequencer(stg: Stg, resource: str) -> Fsm:
     for state_name in chain:
         fsm.add_state(state_name)
 
-    entry = next(t for t in stg.out_transitions("X")
+    exec_state = global_state(stg, StateKind.GLOBAL_EXEC)
+    entry = next(t for t in stg.out_transitions(exec_state.name)
                  if stg.state(t.dst).resource == resource)
     fsm.add_transition("idle", chain[0],
                        conditions=("go",) + tuple(entry.conditions),
@@ -158,68 +193,73 @@ class ControllerHarness:
     sequencers step once per clock; done pulses from the units are
     latched into the done-flag registers; ``clear_flags`` (issued during
     the reset phase) clears them; ``go`` is distributed as a latched
-    broadcast.  The co-simulator drives this harness, and the tests
-    cross-validate its action traces against the STG executor -- the
-    synthesized controller must behave exactly like the STG it came
-    from.
+    broadcast consumed once per sequencer activation.  The execution
+    itself is the kernel's synchronous product
+    (:class:`repro.automata.SynchronousComposition`); this class is the
+    controller-shaped view of it.  The co-simulator drives this
+    harness, and the tests cross-validate its action traces against the
+    STG executor -- the synthesized controller must behave exactly like
+    the STG it came from.
     """
 
     def __init__(self, controller: SystemController) -> None:
         self.controller = controller
-        self.phase_state = controller.phase_fsm.initial
-        self.seq_states = {r: f.initial
-                           for r, f in controller.sequencers.items()}
-        self.flags: set[str] = set()
-        self.internal: set[str] = set()
-        #: sequencers that already left idle in this activation -- the
-        #: ``go`` broadcast is consumed per unit, so a sequencer that
-        #: finished early does not restart its chain
-        self.go_consumed: set[str] = set()
-        self.actions_log: list[tuple[str, ...]] = []
+        components = [fsm.to_automaton() for fsm in controller.fsms]
+        internal = ("go",) + tuple(f"phase_done_{r}"
+                                   for r in controller.sequencers)
+        self._composition = SynchronousComposition(
+            components,
+            CompositionConfig(internal=internal,
+                              clear_action="clear_flags",
+                              consume_once=("go",),
+                              flush_component=0,
+                              flush_states=("reset",)))
+
+    # ------------------------------------------------------------------
+    @property
+    def phase_state(self) -> str:
+        return self._composition.state_names[0]
+
+    @property
+    def seq_states(self) -> dict[str, str]:
+        names = self._composition.state_names
+        return dict(zip(self.controller.sequencers, names[1:]))
+
+    @property
+    def flags(self) -> set[str]:
+        return self._composition.flags
+
+    @property
+    def internal(self) -> set[str]:
+        return self._composition.internal
+
+    @property
+    def go_consumed(self) -> set[str]:
+        """Sequencers that already left idle in this activation."""
+        return {resource
+                for resource, consumed in zip(self.controller.sequencers,
+                                              self._composition.consumed[1:])
+                if consumed}
+
+    @property
+    def actions_log(self) -> list[tuple[str, ...]]:
+        return self._composition.actions_log
 
     @property
     def system_done(self) -> bool:
         return self.phase_state == "done"
 
+    def configuration(self) -> tuple:
+        """Hashable snapshot of the composite configuration."""
+        return self._composition.configuration()
+
+    # ------------------------------------------------------------------
     def cycle(self, unit_signals: set[str] | None = None,
               external: set[str] | None = None) -> list[str]:
         """One clock edge.  ``unit_signals`` are the done pulses of the
         processing units this cycle; ``external`` feeds e.g. ``restart``.
         Returns the externally visible commands issued this cycle."""
-        if unit_signals:
-            self.flags.update(unit_signals)
-        inputs = set(self.flags) | set(self.internal) | set(external or ())
-
-        emitted: list[str] = []
-        fsm = self.controller.phase_fsm
-        self.phase_state, outputs = fsm.step(self.phase_state, inputs)
-        emitted.extend(outputs)
-        for resource, seq in self.controller.sequencers.items():
-            seq_inputs = inputs - {"go"} \
-                if resource in self.go_consumed else inputs
-            was_idle = self.seq_states[resource] == "idle"
-            self.seq_states[resource], outputs = seq.step(
-                self.seq_states[resource], seq_inputs)
-            if was_idle and self.seq_states[resource] != "idle":
-                self.go_consumed.add(resource)
-            emitted.extend(outputs)
-
-        external_actions: list[str] = []
-        for action in emitted:
-            if action == "clear_flags":
-                self.flags.clear()
-            elif action == "go":
-                self.internal.add("go")
-            elif action.startswith("phase_done_"):
-                self.internal.add(action)
-            else:
-                external_actions.append(action)
-        if self.phase_state == "reset":
-            self.internal.clear()
-            self.go_consumed.clear()
-        if external_actions:
-            self.actions_log.append(tuple(external_actions))
-        return external_actions
+        return self._composition.cycle(pulses=unit_signals, held=external)
 
     def run(self, respond_done, max_cycles: int = 100_000) -> list[str]:
         """Closed-loop run: ``respond_done(started_nodes)`` maps the set
@@ -241,9 +281,16 @@ class ControllerHarness:
 
 
 def synthesize_system_controller(stg: Stg,
-                                 name: str = "system_controller"
+                                 name: str = "system_controller",
+                                 minimize: bool = True
                                  ) -> SystemController:
-    """Derive the communicating controller composition from an STG."""
+    """Derive the communicating controller composition from an STG.
+
+    With ``minimize`` (the default) every projected FSM runs through
+    the kernel minimizer before shipping; the pre-minimization state
+    counts are kept on the controller for
+    :meth:`SystemController.stats`.
+    """
     resources = sorted({s.resource for s in stg.states
                         if s.resource is not None})
     if not resources:
@@ -263,9 +310,17 @@ def synthesize_system_controller(stg: Stg,
         actions=("system_done",))
     phase.add_transition("done", "reset", conditions=("restart",))
 
+    unminimized: dict[str, int] = {}
+    if minimize:
+        unminimized = {f.name: len(f.states)
+                       for f in [phase] + list(sequencers.values())}
+        phase = phase.minimize()
+        sequencers = {r: f.minimize() for r, f in sequencers.items()}
+
     done_flags = tuple(sorted({s.node for s in stg.states
                                if s.node is not None}))
-    controller = SystemController(name, phase, sequencers, done_flags)
+    controller = SystemController(name, phase, sequencers, done_flags,
+                                  unminimized)
 
     for fsm in controller.fsms:
         problems = fsm.validate()

@@ -1,0 +1,234 @@
+"""Verified composition: product-of-controllers ≡ minimized STG.
+
+The paper's central correctness claim is that the *composition* of
+communicating controllers (phase FSM x per-resource sequencers, talking
+over ``go`` / ``phase_done_*`` / the done-flag registers) implements
+exactly the scheduled behaviour the STG specifies.  This module checks
+that claim for every synthesized design:
+
+Both sides run in closed loop against the same family of deterministic
+environments (unit latencies drawn per (environment, node), from the
+ideal one-cycle responder to staggered multi-cycle ones), and their
+observable behaviour must agree:
+
+* both complete their activation (global DONE reached / phase ``done``);
+* the **per-resource start sequences** are identical -- interleaving
+  across concurrent units is not observable, the projection onto each
+  unit is;
+* the **action multisets** are identical (the controller adds only its
+  ``system_done`` completion strobe);
+* every data dependency is respected on both sides (producer started
+  before consumer), when the task graph is available.
+
+The check is exposed to the flow as the ``verify`` pipeline stage
+(fingerprint-cached like every other stage) and surfaces in
+``FlowResult.composition_check``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..stg.interp import StgExecutor
+from ..stg.states import Stg
+from .system_controller import ControllerHarness, SystemController
+
+__all__ = ["CompositionCheck", "verify_composition"]
+
+_START = "start_"
+_DONE = "done_"
+#: Controller-only strobes that have no STG counterpart.
+_CONTROLLER_ONLY = ("system_done",)
+
+
+@dataclass(frozen=True)
+class CompositionCheck:
+    """Outcome of one composed-controller vs. STG equivalence check."""
+
+    equivalent: bool
+    environments: int
+    starts_checked: int
+    actions_checked: int
+    composite_configurations: int
+    mismatches: tuple[str, ...] = ()
+
+    def summary(self) -> dict:
+        return {
+            "equivalent": self.equivalent,
+            "environments": self.environments,
+            "starts_checked": self.starts_checked,
+            "actions_checked": self.actions_checked,
+            "composite_configurations": self.composite_configurations,
+            "mismatches": list(self.mismatches),
+        }
+
+
+def _latency_of(environment: int, node: str) -> int:
+    """Deterministic unit latency for (environment, node).
+
+    Environment 0 is the ideal one-cycle responder; later environments
+    stagger completions so the two sides are exercised under skewed
+    interleavings, not just the lockstep one.
+    """
+    if environment == 0:
+        return 1
+    rng = random.Random(f"verify-composition:{environment}:{node}")
+    return rng.randint(1, 1 + 2 * environment)
+
+
+def _drive(step, done, stalled, environment: int,
+           max_cycles: int) -> tuple[bool, list[str]]:
+    """One closed-loop environment driver for both sides of the check.
+
+    Per cycle: deliver the done pulses that fell due, call ``step`` with
+    them, schedule a latency countdown for every ``start_*`` it emits.
+    ``stalled(busy)`` decides when a quiet system counts as deadlocked
+    (the STG executor stalls immediately, the cycle-stepped harness is
+    allowed a few idle hand-off cycles).  Sharing this loop guarantees
+    the STG and the controller composition are judged under *identical*
+    environments.
+    """
+    pending: dict[str, int] = {}
+    actions: list[str] = []
+    for _ in range(max_cycles):
+        due = {node for node, left in pending.items() if left <= 0}
+        for node in due:
+            del pending[node]
+        emitted = step({_DONE + node for node in due})
+        actions.extend(emitted)
+        for action in emitted:
+            if action.startswith(_START):
+                node = action[len(_START):]
+                pending[node] = _latency_of(environment, node)
+        if done():
+            return True, actions
+        if stalled(bool(emitted or pending or due)):
+            return False, actions
+        for node in pending:
+            pending[node] -= 1
+    return done(), actions
+
+
+def _run_stg(stg: Stg, environment: int,
+             max_steps: int) -> tuple[bool, list[str]]:
+    """Closed-loop STG execution; returns (completed, flat actions)."""
+    executor = StgExecutor(stg)
+    return _drive(executor.step, lambda: executor.done,
+                  lambda busy: not busy, environment, max_steps)
+
+
+def _run_controller(controller: SystemController, environment: int,
+                    max_cycles: int) -> tuple[bool, list[str], int]:
+    """Closed-loop harness execution; returns (completed, actions,
+    distinct composite configurations visited)."""
+    harness = ControllerHarness(controller)
+    configurations = {harness.configuration()}
+    idle_cycles = 0
+
+    def step(signals):
+        emitted = harness.cycle(signals)
+        configurations.add(harness.configuration())
+        return emitted
+
+    def stalled(busy):
+        nonlocal idle_cycles
+        idle_cycles = 0 if busy else idle_cycles + 1
+        return idle_cycles > 2
+
+    completed, actions = _drive(step, lambda: harness.system_done,
+                                stalled, environment, max_cycles)
+    return completed, actions, len(configurations)
+
+
+def _starts_by_resource(actions: list[str],
+                        resource_of: dict[str, str]) -> dict[str, list[str]]:
+    projected: dict[str, list[str]] = {}
+    for action in actions:
+        if not action.startswith(_START):
+            continue
+        node = action[len(_START):]
+        projected.setdefault(resource_of.get(node, "?"), []).append(node)
+    return projected
+
+
+def _node_resources(controller: SystemController) -> dict[str, str]:
+    """node -> resource, read off the sequencers' start actions."""
+    resource_of: dict[str, str] = {}
+    for resource, sequencer in controller.sequencers.items():
+        for signal in sequencer.outputs:
+            if signal.startswith(_START):
+                resource_of[signal[len(_START):]] = resource
+    return resource_of
+
+
+def verify_composition(stg: Stg, controller: SystemController,
+                       graph=None, environments: int = 3,
+                       max_cycles: int = 100_000) -> CompositionCheck:
+    """Check the communicating-controller composition against ``stg``.
+
+    ``graph`` (a :class:`~repro.graph.taskgraph.TaskGraph`) additionally
+    enables the data-dependency order check on both traces.
+    """
+    resource_of = _node_resources(controller)
+    mismatches: list[str] = []
+    starts_checked = 0
+    actions_checked = 0
+    configurations = 0
+
+    for environment in range(environments):
+        stg_done, stg_actions = _run_stg(stg, environment, max_cycles)
+        ctl_done, ctl_actions, n_configs = _run_controller(
+            controller, environment, max_cycles)
+        configurations = max(configurations, n_configs)
+
+        if not stg_done:
+            mismatches.append(f"env {environment}: STG never reached its "
+                              f"global DONE state")
+        if not ctl_done:
+            mismatches.append(f"env {environment}: controller composition "
+                              f"never reached phase 'done'")
+        if not (stg_done and ctl_done):
+            continue
+
+        stg_starts = _starts_by_resource(stg_actions, resource_of)
+        ctl_starts = _starts_by_resource(ctl_actions, resource_of)
+        if stg_starts != ctl_starts:
+            mismatches.append(
+                f"env {environment}: per-resource start sequences differ: "
+                f"STG {stg_starts} vs controllers {ctl_starts}")
+        starts_checked += sum(len(v) for v in stg_starts.values())
+
+        comparable = [a for a in ctl_actions if a not in _CONTROLLER_ONLY]
+        if sorted(comparable) != sorted(stg_actions):
+            extra = sorted(set(comparable) ^ set(stg_actions))
+            mismatches.append(
+                f"env {environment}: action multisets differ "
+                f"(symmetric difference {extra})")
+        actions_checked += len(stg_actions)
+
+        if graph is not None:
+            for label, actions in (("STG", stg_actions),
+                                   ("controllers", ctl_actions)):
+                starts = [a[len(_START):] for a in actions
+                          if a.startswith(_START)]
+                position = {node: i for i, node in enumerate(starts)}
+                for edge in graph.edges:
+                    dst_pos = position.get(edge.dst)
+                    if dst_pos is None:
+                        continue  # consumer never ran: caught by the
+                        # multiset/start-sequence comparison above
+                    src_pos = position.get(edge.src)
+                    if src_pos is None or src_pos >= dst_pos:
+                        mismatches.append(
+                            f"env {environment}: {label} trace starts "
+                            f"{edge.dst!r} before its producer "
+                            f"{edge.src!r}")
+
+    return CompositionCheck(
+        equivalent=not mismatches,
+        environments=environments,
+        starts_checked=starts_checked,
+        actions_checked=actions_checked,
+        composite_configurations=configurations,
+        mismatches=tuple(mismatches))

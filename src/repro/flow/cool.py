@@ -50,6 +50,7 @@ from ..controllers.datapath_controller import (DatapathController,
 from ..controllers.io_controller import IoController, synthesize_io_controller
 from ..controllers.system_controller import (SystemController,
                                              synthesize_system_controller)
+from ..controllers.verify import CompositionCheck, verify_composition
 from ..graph.partition import Partition
 from ..graph.taskgraph import TaskGraph
 from ..graph.validate import check_graph
@@ -96,6 +97,9 @@ class FlowResult:
     c_files: dict[str, str]
     netlist: Netlist
     sim_result: SimResult | None
+    #: Product-of-controllers vs minimized-STG equivalence evidence
+    #: (None when the flow ran with ``verify_composition=False``).
+    composition_check: CompositionCheck | None = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
     design_time: DesignTimeReport | None = None
     #: How often each pipeline stage actually executed during this run
@@ -130,6 +134,13 @@ class FlowResult:
         for resource, clbs in self.clbs_per_fpga.items():
             cap = self.arch.fpga(resource).clb_capacity
             lines.append(f"hardware {resource}: {clbs}/{cap} CLBs")
+        if self.composition_check is not None:
+            verdict = "equivalent" if self.composition_check.equivalent \
+                else "MISMATCH: " + "; ".join(
+                    self.composition_check.mismatches)
+            lines.append(
+                f"verified composition: controllers x STG {verdict} "
+                f"({self.composition_check.environments} environments)")
         lines.append(f"generated: {len(self.vhdl_files)} VHDL files, "
                      f"{len(self.c_files)} C files, netlist with "
                      f"{len(self.netlist.components)} components / "
@@ -202,6 +213,12 @@ def _stage_controllers(ctx: FlowContext) -> dict[str, Any]:
             "datapath_controllers": datapath_controllers, "arbiter": arbiter}
 
 
+def _stage_verify(ctx: FlowContext) -> dict[str, Any]:
+    check = verify_composition(ctx.get("stg"), ctx.get("controller"),
+                               graph=ctx.get("graph"))
+    return {"composition_check": check}
+
+
 def _stage_codegen(ctx: FlowContext) -> dict[str, Any]:
     graph, partition = ctx.get("graph"), ctx.get("partition")
     arch: TargetArchitecture = ctx.get("arch")
@@ -227,7 +244,7 @@ def _stage_codegen(ctx: FlowContext) -> dict[str, Any]:
         if partition.nodes_on(proc.name):
             c_files[f"{proc.name}.c"] = software_to_c(
                 graph, partition, ctx.get("schedule"), ctx.get("plan"),
-                proc.name)
+                proc.name, controller=controller)
     netlist = generate_netlist(partition, arch, controller, ctx.get("plan"))
     return {"vhdl_files": vhdl_files, "c_files": c_files, "netlist": netlist}
 
@@ -267,6 +284,8 @@ def build_flow_stages() -> list[Stage]:
               ("controller", "io_controller", "datapath_controllers",
                "arbiter"),
               _stage_controllers),
+        Stage("verify", ("stg", "controller", "graph"),
+              ("composition_check",), _stage_verify),
         Stage("codegen",
               ("graph", "partition", "schedule", "plan", "controller",
                "io_controller", "datapath_controllers", "arbiter",
@@ -334,12 +353,16 @@ class CoolFlow:
                  reuse_memory: bool = True,
                  allow_direct_comm: bool = True,
                  design_time_model: DesignTimeModel | None = None,
-                 stage_cache: StageCache | None = None) -> None:
+                 stage_cache: StageCache | None = None,
+                 verify_composition: bool = True) -> None:
         self.arch = arch
         self.partitioner = partitioner if partitioner is not None \
             else self.default_partitioner()
         self.reuse_memory = reuse_memory
         self.allow_direct_comm = allow_direct_comm
+        #: Run the ``verify`` stage (product-of-controllers vs minimized
+        #: STG trace equivalence) as part of every flow.
+        self.verify_composition = verify_composition
         self.design_time_model = design_time_model if design_time_model \
             is not None else DesignTimeModel()
         #: Shared across ``run`` calls of this flow (and across flows
@@ -404,8 +427,11 @@ class CoolFlow:
 
         # co-synthesis of the converged schedule: STG construction,
         # communication refinement, controllers, code generation.
-        executor.request(ctx, ["minimization", "plan", "vhdl_files",
-                               "c_files", "netlist"])
+        requested = ["minimization", "plan", "vhdl_files", "c_files",
+                     "netlist"]
+        if self.verify_composition:
+            requested.append("composition_check")
+        executor.request(ctx, requested)
 
         sim_result: SimResult | None = None
         if stimuli is not None:
@@ -441,6 +467,8 @@ class CoolFlow:
             vhdl_files=dict(ctx.get("vhdl_files")), c_files=dict(c_files),
             netlist=ctx.get("netlist"),
             sim_result=sim_result,
+            composition_check=ctx.get("composition_check")
+            if self.verify_composition else None,
             stage_seconds=dict(executor.stage_seconds),
             design_time=design_time,
             stage_runs=dict(executor.stage_runs),

@@ -31,7 +31,32 @@ from ..graph.partition import Partition
 from ..schedule.schedule import Schedule
 from .states import StateKind, Stg, StgError, StgState, StgTransition
 
-__all__ = ["build_stg", "wait_name", "exec_name", "done_name"]
+__all__ = ["build_stg", "wait_name", "exec_name", "done_name",
+           "global_state", "GLOBAL_RESET_NAME", "GLOBAL_EXEC_NAME",
+           "GLOBAL_DONE_NAME"]
+
+#: Canonical names of the global system states (paper nomenclature).
+#: Consumers must *not* match on these -- use :func:`global_state` for
+#: structural lookup so a renamed R/X/D cannot silently break them.
+GLOBAL_RESET_NAME = "R"
+GLOBAL_EXEC_NAME = "X"
+GLOBAL_DONE_NAME = "D"
+
+
+def global_state(stg: Stg, kind: StateKind) -> StgState:
+    """The sole global state of ``kind`` in ``stg``, found structurally.
+
+    Controller synthesis and chain projection anchor on the global
+    EXEC/DONE states; looking them up by kind instead of by the literal
+    names ``"X"``/``"D"`` keeps those consumers correct for any naming.
+    """
+    states = stg.states_of_kind(kind)
+    if not states:
+        raise StgError(f"STG has no {kind.name} state")
+    if len(states) > 1:
+        raise StgError(f"STG has {len(states)} {kind.name} states, "
+                       f"expected exactly one")
+    return states[0]
 
 
 def wait_name(node: str) -> str:
@@ -61,10 +86,10 @@ def build_stg(schedule: Schedule) -> Stg:
         raise StgError("partition uses no resources")
 
     # -- states ---------------------------------------------------------
-    stg.add_state(StgState("R", StateKind.GLOBAL_RESET))
-    stg.add_state(StgState("X", StateKind.GLOBAL_EXEC))
-    stg.add_state(StgState("D", StateKind.GLOBAL_DONE))
-    stg.initial = "R"
+    stg.add_state(StgState(GLOBAL_RESET_NAME, StateKind.GLOBAL_RESET))
+    stg.add_state(StgState(GLOBAL_EXEC_NAME, StateKind.GLOBAL_EXEC))
+    stg.add_state(StgState(GLOBAL_DONE_NAME, StateKind.GLOBAL_DONE))
+    stg.initial = GLOBAL_RESET_NAME
 
     for resource in resources:
         stg.add_state(StgState(_reset_name(resource), StateKind.RESET,
@@ -82,18 +107,22 @@ def build_stg(schedule: Schedule) -> Stg:
     # -- global reset fan-out and execution barrier ----------------------
     for resource in resources:
         stg.add_transition(StgTransition(
-            "R", _reset_name(resource), actions=(f"reset_{resource}",)))
-        stg.add_transition(StgTransition(_reset_name(resource), "X"))
+            GLOBAL_RESET_NAME, _reset_name(resource),
+            actions=(f"reset_{resource}",)))
+        stg.add_transition(StgTransition(_reset_name(resource),
+                                         GLOBAL_EXEC_NAME))
 
     # -- per-resource schedule chains ------------------------------------
     for resource in resources:
         order = [entry.node for entry in schedule.on_resource(resource)]
         if not order:
             continue
-        stg.add_transition(StgTransition("X", wait_name(order[0])))
+        stg.add_transition(StgTransition(GLOBAL_EXEC_NAME,
+                                         wait_name(order[0])))
         for prev, nxt in zip(order, order[1:]):
             stg.add_transition(StgTransition(done_name(prev), wait_name(nxt)))
-        stg.add_transition(StgTransition(done_name(order[-1]), "D"))
+        stg.add_transition(StgTransition(done_name(order[-1]),
+                                         GLOBAL_DONE_NAME))
 
     # -- node micro-cycles with guards, reads, starts and writes ---------
     for node in graph.nodes:

@@ -1,8 +1,8 @@
 """Token-based execution semantics of STGs.
 
 The STG is concurrent: the global reset state forks into one chain per
-processing unit, X and D are synchronisation barriers.  The executor
-implements marked-graph semantics:
+processing unit, X and D are synchronisation barriers.  Execution is
+marked-graph semantics:
 
 * a state *activates* once all its incoming transitions have fired
   (the initial state starts active);
@@ -13,17 +13,21 @@ implements marked-graph semantics:
 * firing emits the transition's actions;
 * the activation completes when the GLOBAL_DONE state activates.
 
-This executor has two jobs: it is the reference semantics against which
-state minimization is verified (identical action traces for identical
-signal traces), and it *is* the system-controller model that steers the
-co-simulation (:mod:`repro.sim`), exactly the role the synthesized
-controller plays on the board.
+Since the automaton-kernel refactor the semantics itself lives in
+:class:`repro.automata.TokenExecutor`; :class:`StgExecutor` is the
+name-level view of it.  It keeps two jobs: it is the reference
+semantics against which state minimization is verified (identical
+action traces for identical signal traces), and it *is* the
+system-controller model that steers the co-simulation
+(:mod:`repro.sim`), exactly the role the synthesized controller plays
+on the board.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..automata import TokenExecutor
 from .states import StateKind, Stg, StgError
 
 __all__ = ["StgExecutor", "FiredTransition"]
@@ -39,38 +43,71 @@ class FiredTransition:
     actions: tuple[str, ...]
 
 
-@dataclass
 class StgExecutor:
-    """Stepwise interpreter of one STG activation."""
+    """Stepwise interpreter of one STG activation (kernel token view)."""
 
-    stg: Stg
-    latched: set[str] = field(default_factory=set)
-    active: set[str] = field(default_factory=set)
-    fired_in: dict[str, int] = field(default_factory=dict)
-    fired_out: dict[str, int] = field(default_factory=dict)
-    trace: list[FiredTransition] = field(default_factory=list)
-    step_count: int = 0
-
-    def __post_init__(self) -> None:
-        if self.stg.initial is None:
+    def __init__(self, stg: Stg) -> None:
+        if stg.initial is None:
             raise StgError("STG has no initial state")
-        self.reset()
+        self.stg = stg
+        automaton = stg.to_automaton()
+        done_states = [automaton.index_of(s.name)
+                       for s in stg.states_of_kind(StateKind.GLOBAL_DONE)]
+        self._kernel = TokenExecutor(automaton, final=done_states)
+        self._symbols = automaton.symbols
+        self._trace_view: list[FiredTransition] = []
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Start a fresh activation."""
-        self.latched = set()
-        self.active = {self.stg.initial}
-        self.fired_in = {s.name: 0 for s in self.stg.states}
-        self.fired_out = {s.name: 0 for s in self.stg.states}
-        self.trace = []
-        self.step_count = 0
+        self._kernel.reset()
+        self._trace_view = []
 
     @property
     def done(self) -> bool:
         """True once the GLOBAL_DONE state has activated."""
-        done_states = self.stg.states_of_kind(StateKind.GLOBAL_DONE)
-        return any(s.name in self.active for s in done_states)
+        return self._kernel.done
+
+    @property
+    def step_count(self) -> int:
+        return self._kernel.step_count
+
+    @property
+    def latched(self) -> set[str]:
+        """Currently latched condition signals, by name."""
+        return {self._symbols.name_of(s) for s in self._kernel.latched}
+
+    @property
+    def active(self) -> set[str]:
+        """Currently active state names."""
+        automaton = self._kernel.automaton
+        return {automaton.name_of(s) for s in self._kernel.active}
+
+    @property
+    def fired_in(self) -> dict[str, int]:
+        automaton = self._kernel.automaton
+        return {automaton.name_of(i): n
+                for i, n in enumerate(self._kernel.fired_in)}
+
+    @property
+    def fired_out(self) -> dict[str, int]:
+        automaton = self._kernel.automaton
+        return {automaton.name_of(i): n
+                for i, n in enumerate(self._kernel.fired_out)}
+
+    @property
+    def trace(self) -> list[FiredTransition]:
+        """The firing trace with state/signal names resolved."""
+        kernel_trace = self._kernel.trace
+        view = self._trace_view
+        if len(view) < len(kernel_trace):
+            automaton = self._kernel.automaton
+            for firing in kernel_trace[len(view):]:
+                view.append(FiredTransition(
+                    firing.step, automaton.name_of(firing.src),
+                    automaton.name_of(firing.dst),
+                    self._symbols.names_of(firing.actions)))
+        return view
 
     # ------------------------------------------------------------------
     def step(self, signals: set[str] | None = None) -> list[str]:
@@ -81,59 +118,19 @@ class StgExecutor:
         that traverses action states in consecutive clock cycles faster
         than the units it observes.
         """
-        if signals:
-            self.latched.update(signals)
-        self.step_count += 1
-        emitted: list[str] = []
-        progress = True
-        while progress:
-            progress = False
-            for state_name in sorted(self.active):
-                for transition in self.stg.out_transitions(state_name):
-                    if self._already_fired(transition):
-                        continue
-                    if not set(transition.conditions) <= self.latched:
-                        continue
-                    self._fire(transition)
-                    emitted.extend(transition.actions)
-                    progress = True
-        return emitted
+        ids = self._symbols.ids_of(signals) if signals else None
+        emitted = self._kernel.step(ids)
+        return [self._symbols.name_of(a) for a in emitted]
 
     def run(self, signal_schedule: list[set[str]],
             max_extra_steps: int = 1000) -> list[str]:
         """Feed a signal trace, then run until done; returns all actions."""
-        actions: list[str] = []
-        for signals in signal_schedule:
-            actions.extend(self.step(signals))
-        extra = 0
-        while not self.done and extra < max_extra_steps:
-            before = len(self.trace)
-            actions.extend(self.step())
-            extra += 1
-            if len(self.trace) == before:
-                break  # no progress without new signals
-        return actions
-
-    # ------------------------------------------------------------------
-    def _already_fired(self, transition) -> bool:
-        return any(f.src == transition.src and f.dst == transition.dst
-                   and f.actions == transition.actions
-                   for f in self.trace)
-
-    def _fire(self, transition) -> None:
-        self.trace.append(FiredTransition(self.step_count, transition.src,
-                                          transition.dst, transition.actions))
-        self.fired_out[transition.src] += 1
-        self.fired_in[transition.dst] += 1
-        # source deactivates when all its out-transitions fired
-        if self.fired_out[transition.src] == \
-                len(self.stg.out_transitions(transition.src)):
-            self.active.discard(transition.src)
-        # destination activates when all its in-transitions fired
-        if self.fired_in[transition.dst] == \
-                len(self.stg.in_transitions(transition.dst)):
-            self.active.add(transition.dst)
+        emitted = self._kernel.run(
+            [self._symbols.ids_of(signals) for signals in signal_schedule],
+            max_extra_steps=max_extra_steps)
+        return [self._symbols.name_of(a) for a in emitted]
 
     def action_trace(self) -> list[tuple[str, ...]]:
         """Per-firing action tuples, in firing order (minimization oracle)."""
-        return [f.actions for f in self.trace if f.actions]
+        return [self._symbols.names_of(actions)
+                for actions in self._kernel.action_trace()]

@@ -12,9 +12,12 @@ Three behaviour-preserving reductions:
    guards; the state is folded into that edge.  Guards elsewhere
    reference the *done signal flags*, not the DONE state, so folding is
    observationally safe.
-3. **Equivalence merging** -- classical partition refinement: states of
-   the same kind on the same resource with structurally identical
-   outgoing behaviour (conditions, actions, successor block) merge.
+3. **Equivalence merging** -- partition refinement: states of the same
+   kind on the same resource with structurally identical outgoing
+   behaviour (conditions, actions, successor block) merge.  The
+   refinement itself is the shared kernel minimizer
+   (:func:`repro.automata.refine_partition`), the same worklist
+   algorithm controller FSM minimization uses.
 
 Reduction 1+2 shrink the canonical 3-states-per-node construction to
 roughly one state per node plus the guarded waits -- the minimization
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..automata import refine_partition
 from .states import StateKind, Stg, StgError, StgState, StgTransition
 
 __all__ = ["minimize_stg", "MinimizationReport"]
@@ -101,44 +105,27 @@ def _contract(stg: Stg, kind: StateKind) -> tuple[Stg, int]:
 
 
 def _merge_equivalent(stg: Stg) -> tuple[Stg, int]:
-    """Partition refinement over (kind, resource, transition signatures)."""
-    states = stg.states
-    block_of: dict[str, int] = {}
-    # initial partition: kind + resource (never merge across units), and
-    # keep the initial state alone
-    keys: dict[tuple, int] = {}
-    for state in states:
-        key = (state.kind, state.resource, state.name == stg.initial)
-        block_of[state.name] = keys.setdefault(key, len(keys))
+    """Merge states the kernel's partition refinement proves equivalent.
 
-    changed = True
-    while changed:
-        changed = False
-        signature: dict[str, tuple] = {}
-        for state in states:
-            outs = frozenset(
-                (t.conditions, t.actions, block_of[t.dst])
-                for t in stg.out_transitions(state.name))
-            signature[state.name] = (block_of[state.name], outs)
-        keys = {}
-        new_blocks: dict[str, int] = {}
-        for state in states:
-            new_blocks[state.name] = keys.setdefault(
-                signature[state.name], len(keys))
-        if new_blocks != block_of:
-            block_of = new_blocks
-            changed = True
-
-    representative: dict[int, str] = {}
-    for state in states:  # first state of each block represents it
-        representative.setdefault(block_of[state.name], state.name)
-    merged = sum(1 for s in states
-                 if representative[block_of[s.name]] != s.name)
-    if merged == 0:
+    The initial partition comes from the automaton view's state keys
+    (kind + resource, initial state isolated -- see
+    :meth:`~repro.stg.states.Stg.to_automaton`); unordered signatures,
+    because STG transitions carry no priority.  The quotient is rebuilt
+    as an :class:`Stg` so the representatives keep their full
+    :class:`StgState` metadata (kind, node, resource).
+    """
+    automaton = stg.to_automaton(isolate_initial=True)
+    refinement = refine_partition(automaton, ordered=False)
+    if refinement.merged == 0:
         return stg, 0
 
+    block_of = {automaton.name_of(i): b
+                for i, b in enumerate(refinement.block_of)}
+    representative = {b: automaton.name_of(r)
+                      for b, r in enumerate(refinement.representative)}
+
     out = Stg(stg.name)
-    for state in states:
+    for state in stg.states:
         if representative[block_of[state.name]] == state.name:
             out.add_state(state)
     out.initial = representative[block_of[stg.initial]] \
@@ -152,7 +139,7 @@ def _merge_equivalent(stg: Stg) -> tuple[Stg, int]:
             continue
         seen.add(key)
         out.add_transition(StgTransition(src, dst, t.conditions, t.actions))
-    return out, merged
+    return out, refinement.merged
 
 
 def minimize_stg(stg: Stg, contract_waits: bool = True,

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..automata import Automaton, AutomatonBuilder
 from ..fingerprint import content_hash
 
 __all__ = ["StateKind", "StgState", "StgTransition", "Stg", "StgError"]
@@ -110,6 +111,8 @@ class Stg:
         self._out: dict[str, list[StgTransition]] = {}
         self._in: dict[str, list[StgTransition]] = {}
         self.initial: str | None = None
+        self._version = 0
+        self._automaton_cache: tuple[tuple, Automaton] | None = None
 
     # ------------------------------------------------------------------
     def add_state(self, state: StgState) -> StgState:
@@ -118,6 +121,7 @@ class Stg:
         self._states[state.name] = state
         self._out[state.name] = []
         self._in[state.name] = []
+        self._version += 1
         return state
 
     def add_transition(self, transition: StgTransition) -> StgTransition:
@@ -128,6 +132,7 @@ class Stg:
         self._transitions.append(transition)
         self._out[transition.src].append(transition)
         self._in[transition.dst].append(transition)
+        self._version += 1
         return transition
 
     # ------------------------------------------------------------------
@@ -170,6 +175,33 @@ class Stg:
                   for s in self._states.values()),
             tuple((t.src, t.dst, t.conditions, t.actions)
                   for t in self._transitions)))
+
+    def to_automaton(self, isolate_initial: bool = False) -> Automaton:
+        """The kernel view of this graph (cached until the next mutation).
+
+        Per-state keys carry (kind, resource) -- the minimizer's initial
+        partition never merges across units or roles.  With
+        ``isolate_initial`` the entry state additionally gets a key of
+        its own: under token semantics redirecting transitions *into*
+        the initially-active state would change activation counting, so
+        STG minimization keeps it apart.
+        """
+        cache_key = (self._version, self.initial, isolate_initial)
+        if self._automaton_cache is not None \
+                and self._automaton_cache[0] == cache_key:
+            return self._automaton_cache[1]
+        builder = AutomatonBuilder(self.name)
+        for state in self._states.values():
+            builder.add_state(
+                state.name,
+                key=(state.kind.value, state.resource,
+                     isolate_initial and state.name == self.initial))
+        for t in self._transitions:
+            builder.add_transition(t.src, t.dst, conditions=t.conditions,
+                                   actions=t.actions)
+        automaton = builder.build(initial=self.initial)
+        self._automaton_cache = (cache_key, automaton)
+        return automaton
 
     def states_of_node(self, node: str) -> list[StgState]:
         return [s for s in self._states.values() if s.node == node]

@@ -1,0 +1,286 @@
+"""Unit tests for the shared automaton kernel (repro.automata)."""
+
+import pytest
+
+from repro.automata import (AutomataError, AutomatonBuilder,
+                            CompositionConfig, SequentialRunner,
+                            SymbolTable, SynchronousComposition,
+                            TokenExecutor, encode_names, internal_signals,
+                            minimize_automaton, refine_partition,
+                            synchronous_product)
+
+
+def chain_automaton():
+    """idle -> a -> b -> idle, each hop guarded and acting."""
+    b = AutomatonBuilder("chain")
+    b.add_state("idle")
+    b.add_state("a")
+    b.add_state("b")
+    b.add_transition("idle", "a", conditions=("go",), actions=("start_a",))
+    b.add_transition("a", "b", conditions=("done_a",), actions=("start_b",))
+    b.add_transition("b", "idle", conditions=("done_b",), actions=("fin",))
+    return b.build()
+
+
+class TestSymbolTable:
+    def test_round_trip(self):
+        table = SymbolTable()
+        assert table.intern("x") == table.intern("x")
+        assert table.name_of(table.intern("y")) == "y"
+        assert table.ids_of(["x", "ghost"]) == {table.id_of("x")}
+        assert "ghost" not in table
+
+
+class TestAutomatonCore:
+    def test_duplicate_state_rejected(self):
+        b = AutomatonBuilder("dup")
+        b.add_state("s")
+        with pytest.raises(AutomataError):
+            b.add_state("s")
+
+    def test_unknown_endpoint_rejected(self):
+        b = AutomatonBuilder("ghost")
+        b.add_state("s")
+        with pytest.raises(AutomataError):
+            b.add_transition("s", "nowhere")
+
+    def test_out_transitions_preserve_priority(self):
+        b = AutomatonBuilder("prio")
+        b.add_state("s")
+        b.add_state("t")
+        b.add_transition("s", "t", conditions=("x",), actions=("first",))
+        b.add_transition("s", "s", conditions=("x",), actions=("second",))
+        a = b.build()
+        sym = a.symbols
+        assert [sym.names_of(t.actions) for t in a.out(a.index_of("s"))] \
+            == [("first",), ("second",)]
+
+    def test_signal_inventories(self):
+        a = chain_automaton()
+        assert a.input_names() == ["done_a", "done_b", "go"]
+        assert a.output_names() == ["fin", "start_a", "start_b"]
+
+    def test_fingerprint_ignores_signal_declaration_order(self):
+        def build(cond_order):
+            b = AutomatonBuilder("fp")
+            b.add_state("s")
+            b.add_state("t")
+            b.add_transition("s", "t", conditions=cond_order,
+                             actions=("out",))
+            return b.build()
+        assert build(("p", "q")).fingerprint() == \
+            build(("q", "p")).fingerprint()
+
+    def test_fingerprint_sees_structure(self):
+        a = chain_automaton()
+        b = AutomatonBuilder("chain")
+        b.add_state("idle")
+        b.add_state("a")
+        b.add_state("b")
+        b.add_transition("idle", "a", conditions=("go",),
+                         actions=("start_a",))
+        b.add_transition("a", "b", conditions=("done_a",),
+                         actions=("start_b",))
+        b.add_transition("b", "idle", conditions=("done_b",),
+                         actions=("DIFFERENT",))
+        assert a.fingerprint() != b.build().fingerprint()
+
+
+class TestMinimizer:
+    def build_diamond(self):
+        """s0 branches to equivalent a/b which rejoin at end."""
+        b = AutomatonBuilder("diamond")
+        for s in ("s0", "a", "b", "end"):
+            b.add_state(s)
+        b.add_transition("s0", "a", conditions=("p",))
+        b.add_transition("s0", "b", conditions=("q",))
+        b.add_transition("a", "end", conditions=("t",), actions=("out",))
+        b.add_transition("b", "end", conditions=("t",), actions=("out",))
+        b.add_transition("end", "s0")
+        return b.build()
+
+    def test_equivalent_states_merge(self):
+        reduced, refinement = minimize_automaton(self.build_diamond())
+        assert refinement.merged == 1
+        assert set(reduced.state_names) == {"s0", "a", "end"}
+
+    def test_refinement_deterministic(self):
+        a = self.build_diamond()
+        assert refine_partition(a) == refine_partition(a)
+
+    def test_initial_preferred_as_representative(self):
+        b = AutomatonBuilder("entry")
+        b.add_state("a")
+        b.add_state("b")
+        b.add_state("end")
+        b.add_transition("a", "end", conditions=("t",), actions=("out",))
+        b.add_transition("b", "end", conditions=("t",), actions=("out",))
+        a = b.build(initial="b")
+        reduced, refinement = minimize_automaton(a, ordered=True)
+        assert refinement.merged == 1
+        assert "b" in reduced.state_names
+        assert "a" not in reduced.state_names
+        assert reduced.name_of(reduced.initial) == "b"
+
+    def test_ordered_signatures_respect_priority(self):
+        # two states with the same transition *set* but swapped priority:
+        # overlapping guards make the order observable
+        b = AutomatonBuilder("prio")
+        for s in ("p", "q", "t1", "t2"):
+            b.add_state(s)
+        b.add_transition("t1", "t1", actions=("one",))
+        b.add_transition("t2", "t2", actions=("two",))
+        b.add_transition("p", "t1", conditions=("x",), actions=("first",))
+        b.add_transition("p", "t2", conditions=("x",), actions=("second",))
+        b.add_transition("q", "t2", conditions=("x",), actions=("second",))
+        b.add_transition("q", "t1", conditions=("x",), actions=("first",))
+        a = b.build(initial="p")
+        _, unordered = minimize_automaton(a, ordered=False)
+        _, ordered = minimize_automaton(a, ordered=True)
+        assert unordered.merged == 1       # same behaviour as a *set*
+        assert ordered.merged == 0         # priority makes them distinct
+
+    def test_key_partition_never_crossed(self):
+        b = AutomatonBuilder("keys")
+        b.add_state("a", key="cpu")
+        b.add_state("b", key="fpga")
+        a = b.build()
+        assert refine_partition(a).n_blocks == 2
+
+
+class TestTokenExecutor:
+    def fork_join(self):
+        """R forks to two chains that join at D (marked-graph shape)."""
+        b = AutomatonBuilder("forkjoin")
+        for s in ("R", "u", "v", "D"):
+            b.add_state(s)
+        b.add_transition("R", "u", actions=("go_u",))
+        b.add_transition("R", "v", actions=("go_v",))
+        b.add_transition("u", "D", conditions=("done_u",))
+        b.add_transition("v", "D", conditions=("done_v",))
+        return b.build(initial="R")
+
+    def test_join_requires_all_inputs(self):
+        a = self.fork_join()
+        ex = TokenExecutor(a, final=[a.index_of("D")])
+        sym = a.symbols
+        first = ex.step()
+        assert sorted(sym.name_of(s) for s in first) == ["go_u", "go_v"]
+        ex.step(sym.ids_of({"done_u"}))
+        assert not ex.done
+        ex.step(sym.ids_of({"done_v"}))
+        assert ex.done
+
+    def test_conditions_latched(self):
+        a = self.fork_join()
+        ex = TokenExecutor(a, final=[a.index_of("D")])
+        sym = a.symbols
+        # both dones latched before the fork even fires
+        ex.step(sym.ids_of({"done_u", "done_v"}))
+        assert ex.done
+
+    def test_reset_replays_identically(self):
+        a = self.fork_join()
+        ex = TokenExecutor(a, final=[a.index_of("D")])
+        sym = a.symbols
+        ex.run([sym.ids_of({"done_u", "done_v"})])
+        first = list(ex.trace)
+        ex.reset()
+        ex.run([sym.ids_of({"done_u", "done_v"})])
+        assert ex.trace == first
+
+    def test_requires_initial_state(self):
+        b = AutomatonBuilder("empty")
+        with pytest.raises(AutomataError):
+            TokenExecutor(b.build())
+
+
+class TestSequentialRunner:
+    def test_priority_and_moore(self):
+        b = AutomatonBuilder("m")
+        b.add_state("s", outputs=("alive",))
+        b.add_state("t")
+        b.add_transition("s", "t", conditions=("x",), actions=("hop",))
+        b.add_transition("s", "s", conditions=("x",), actions=("shadowed",))
+        a = b.build()
+        runner = SequentialRunner(a)
+        sym = a.symbols
+        state, outs = runner.step(a.index_of("s"), sym.ids_of({"x"}))
+        assert a.name_of(state) == "t"
+        assert sym.names_of(outs) == ("alive", "hop")
+        state, outs = runner.step(a.index_of("s"), set())
+        assert a.name_of(state) == "s"
+        assert sym.names_of(outs) == ("alive",)
+
+
+def ping_pong():
+    """Two FSMs handshaking over hidden tick/tock channels."""
+    ping = AutomatonBuilder("ping")
+    ping.add_state("idle")
+    ping.add_state("sent")
+    ping.add_transition("idle", "sent", conditions=("kick",),
+                        actions=("tick",))
+    ping.add_transition("sent", "idle", conditions=("tock",),
+                        actions=("round_done",))
+    pong = AutomatonBuilder("pong")
+    pong.add_state("wait")
+    pong.add_state("got")
+    pong.add_transition("wait", "got", conditions=("tick",),
+                        actions=("work",))
+    pong.add_transition("got", "wait", actions=("tock",))
+    return ping.build(), pong.build()
+
+
+class TestSynchronousComposition:
+    def test_internal_signal_detection(self):
+        assert internal_signals(ping_pong()) == ("tick", "tock")
+
+    def test_channel_delay_and_completion(self):
+        composition = SynchronousComposition(ping_pong())
+        external = []
+        external += composition.cycle(pulses={"kick"})
+        for _ in range(4):
+            external += composition.cycle()
+        assert "work" in external
+        assert "round_done" in external
+        # hidden channels never leak
+        assert "tick" not in external and "tock" not in external
+        # kick stays latched (flag-register semantics), so after the
+        # round completes ping has already re-fired into 'sent'
+        assert composition.state_names == ("sent", "wait")
+
+    def test_product_materializes_composite_behaviour(self):
+        product = synchronous_product(ping_pong())
+        assert product.initial is not None
+        # the composed round trip appears as product transitions
+        actions = {product.symbols.name_of(a)
+                   for t in product.transitions for a in t.actions}
+        assert {"work", "round_done"} <= actions
+        assert "tick" not in actions  # hidden channel stays hidden
+        assert 3 <= len(product) <= 8
+
+    def test_product_state_bound_enforced(self):
+        with pytest.raises(AutomataError):
+            synchronous_product(ping_pong(), max_states=1)
+
+    def test_product_minimizes_like_any_automaton(self):
+        product = synchronous_product(ping_pong())
+        reduced, refinement = minimize_automaton(product, ordered=True)
+        assert len(reduced) == len(product) - refinement.merged
+
+
+class TestEncodings:
+    def test_schemes(self):
+        names = ["a", "b", "c"]
+        binary = encode_names(names, "binary")
+        assert sorted(binary.values()) == ["00", "01", "10"]
+        one_hot = encode_names(names, "one_hot")
+        assert all(code.count("1") == 1 for code in one_hot.values())
+        gray = encode_names(names, "gray")
+        assert len(set(gray.values())) == 3
+
+    def test_errors(self):
+        with pytest.raises(AutomataError):
+            encode_names([], "binary")
+        with pytest.raises(AutomataError):
+            encode_names(["a"], "quantum")

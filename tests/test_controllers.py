@@ -12,7 +12,8 @@ from repro.estimate import CostModel
 from repro.graph import from_mapping
 from repro.platform import cool_board, minimal_board
 from repro.schedule import list_schedule
-from repro.stg import StgExecutor, build_stg, minimize_stg
+from repro.stg import (StateKind, Stg, StgError, StgExecutor, StgState,
+                       StgTransition, build_stg, global_state, minimize_stg)
 
 
 def make_schedule(graph, arch, hw_nodes=()):
@@ -133,6 +134,75 @@ class TestSystemController:
         harness = ControllerHarness(controller)
         harness.run(lambda newly: {f"done_{n}" for n in newly})
         assert harness.system_done
+
+    def test_sequencer_fsms_minimized_with_stats(self, equalizer_controller):
+        *_, stg, mini, controller = equalizer_controller
+        stats = controller.stats()
+        assert set(stats["minimization"]) == {f.name
+                                              for f in controller.fsms}
+        for counts in stats["minimization"].values():
+            assert counts["after"] <= counts["before"]
+        assert stats["states_saved"] >= 0
+        unminimized = synthesize_system_controller(mini, minimize=False)
+        assert unminimized.stats()["minimization"] == {}
+        for fsm in controller.fsms:
+            assert len(fsm.states) <= \
+                stats["minimization"][fsm.name]["before"]
+        assert controller.total_states <= unminimized.total_states
+
+    def test_controller_fingerprint_is_content_based(self,
+                                                     equalizer_controller):
+        *_, mini, controller = equalizer_controller
+        again = synthesize_system_controller(mini)
+        assert controller.fingerprint() == again.fingerprint()
+
+    def test_renamed_global_states_still_project(self):
+        """Chain projection anchors on state *kinds*, not the literal
+        names "X"/"D" -- a renamed entry/terminal cannot break it."""
+        stg = Stg("renamed")
+        stg.add_state(StgState("SYS_R", StateKind.GLOBAL_RESET))
+        stg.add_state(StgState("SYS_X", StateKind.GLOBAL_EXEC))
+        stg.add_state(StgState("SYS_D", StateKind.GLOBAL_DONE))
+        stg.add_state(StgState("r_cpu", StateKind.RESET, resource="cpu"))
+        stg.add_state(StgState("x_a", StateKind.EXEC, node="a",
+                               resource="cpu"))
+        stg.initial = "SYS_R"
+        stg.add_transition(StgTransition("SYS_R", "r_cpu",
+                                         actions=("reset_cpu",)))
+        stg.add_transition(StgTransition("r_cpu", "SYS_X"))
+        stg.add_transition(StgTransition("SYS_X", "x_a",
+                                         actions=("start_a",)))
+        stg.add_transition(StgTransition("x_a", "SYS_D",
+                                         conditions=("done_a",)))
+        controller = synthesize_system_controller(stg)
+        assert "x_a" in controller.sequencers["cpu"].states
+        harness = ControllerHarness(controller)
+        harness.run(lambda newly: {f"done_{n}" for n in newly})
+        assert harness.system_done
+
+    def test_global_state_lookup_errors(self):
+        stg = Stg("bare")
+        stg.add_state(StgState("R", StateKind.GLOBAL_RESET))
+        with pytest.raises(StgError, match="no GLOBAL_EXEC"):
+            global_state(stg, StateKind.GLOBAL_EXEC)
+
+    def test_cyclic_chain_rejected(self):
+        stg = Stg("cyclic")
+        stg.add_state(StgState("R", StateKind.GLOBAL_RESET))
+        stg.add_state(StgState("X", StateKind.GLOBAL_EXEC))
+        stg.add_state(StgState("D", StateKind.GLOBAL_DONE))
+        stg.add_state(StgState("x_a", StateKind.EXEC, node="a",
+                               resource="cpu"))
+        stg.add_state(StgState("x_b", StateKind.EXEC, node="b",
+                               resource="cpu"))
+        stg.initial = "R"
+        stg.add_transition(StgTransition("R", "X"))
+        stg.add_transition(StgTransition("X", "x_a"))
+        stg.add_transition(StgTransition("x_a", "x_b"))
+        stg.add_transition(StgTransition("x_b", "x_a"))  # never reaches D
+        stg.add_transition(StgTransition("D", "D"))
+        with pytest.raises(StgError, match="revisits"):
+            synthesize_system_controller(stg)
 
     def test_fuzzy_controller_on_cool_board(self):
         graph = fuzzy_controller()

@@ -116,6 +116,35 @@ class TestMinimize:
         fsm = traffic_light()
         assert len(fsm.minimize().states) == 3
 
+    def test_initial_state_represents_its_block(self):
+        """Regression: the representative of a block containing the
+        initial state must be the initial state itself -- callers
+        reference the canonical entry name in transition labels, and a
+        first-declared representative used to be able to drop it."""
+        fsm = Fsm("entry")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_state("end")
+        fsm.add_transition("a", "end", conditions=("t",), actions=("out",))
+        fsm.add_transition("b", "end", conditions=("t",), actions=("out",))
+        fsm.initial = "b"  # equivalent to "a", but "b" is the entry
+        reduced = fsm.minimize()
+        assert reduced.initial == "b"
+        assert "b" in reduced.states
+        assert "a" not in reduced.states
+        assert len(reduced.states) == 2
+        trace = [{"t"}, set(), {"t"}]
+        assert [o for _, o in fsm.simulate(trace)] == \
+            [o for _, o in reduced.simulate(trace)]
+
+    def test_minimize_deterministic_ordering(self):
+        fsm = traffic_light()
+        first = fsm.minimize()
+        second = fsm.minimize()
+        assert first.states == second.states
+        assert first.transitions == second.transitions
+        assert first.initial == second.initial
+
 
 class TestEncoding:
     def test_binary_width(self):

@@ -1,0 +1,127 @@
+"""Tests for verified composition: product-of-controllers ≡ minimized STG.
+
+Covers the standalone checker on the bundled apps, the ``verify``
+pipeline stage (FlowResult exposure + fingerprint caching) and the
+detector's teeth: a tampered controller must be caught.
+"""
+
+import pytest
+
+from repro.apps import dct_stage, four_band_equalizer, fuzzy_controller
+from repro.controllers import (Fsm, SystemController,
+                               synthesize_system_controller,
+                               verify_composition)
+from repro.estimate import CostModel
+from repro.flow import CoolFlow
+from repro.graph import from_mapping
+from repro.partition import GreedyPartitioner
+from repro.platform import cool_board, minimal_board
+from repro.schedule import list_schedule
+from repro.stg import build_stg, minimize_stg
+
+
+def implementation(graph, arch, hw_nodes=()):
+    mapping = {}
+    for node in graph.internal_nodes():
+        mapping[node.name] = arch.fpga_names[0] if node.name in hw_nodes \
+            else arch.processor_names[0]
+    partition = from_mapping(graph, mapping, arch.fpga_names,
+                             arch.processor_names)
+    schedule = list_schedule(partition, CostModel(graph, arch))
+    mini, _ = minimize_stg(build_stg(schedule))
+    return graph, mini, synthesize_system_controller(mini)
+
+
+BUNDLED = [
+    (four_band_equalizer(words=8), minimal_board(), ("band0", "gain0")),
+    (fuzzy_controller(), cool_board(), ("fz_e", "defuzz")),
+    (dct_stage(), minimal_board(), ("s0", "s1")),
+]
+
+
+class TestVerifyComposition:
+    @pytest.mark.parametrize("graph,arch,hw", BUNDLED,
+                             ids=lambda value: getattr(value, "name", None))
+    def test_bundled_apps_equivalent(self, graph, arch, hw):
+        graph, mini, controller = implementation(graph, arch, hw)
+        check = verify_composition(mini, controller, graph=graph)
+        assert check.equivalent, check.mismatches
+        assert check.environments == 3
+        assert check.starts_checked >= check.environments * \
+            len(graph.nodes)
+        assert check.composite_configurations > len(controller.fsms)
+
+    def test_unminimized_stg_also_equivalent(self):
+        graph = four_band_equalizer(words=8)
+        mapping = {n.name: minimal_board().processor_names[0]
+                   for n in graph.internal_nodes()}
+        partition = from_mapping(graph, mapping,
+                                 minimal_board().fpga_names,
+                                 minimal_board().processor_names)
+        schedule = list_schedule(partition,
+                                 CostModel(graph, minimal_board()))
+        stg = build_stg(schedule)
+        controller = synthesize_system_controller(stg)
+        assert verify_composition(stg, controller, graph=graph).equivalent
+
+    def test_tampered_controller_detected(self):
+        graph, mini, controller = implementation(*BUNDLED[0])
+        resource, sequencer = next((r, f)
+                                   for r, f in controller.sequencers.items()
+                                   if any(a.startswith("start_")
+                                          for a in f.outputs))
+        tampered = Fsm(sequencer.name)
+        for state in sequencer.states:
+            tampered.add_state(state,
+                               sequencer.state_outputs.get(state, ()))
+        tampered.initial = sequencer.initial
+        dropped = False
+        for t in sequencer.transitions:
+            actions = t.actions
+            if not dropped and any(a.startswith("start_") for a in actions):
+                actions = tuple(a for a in actions
+                                if not a.startswith("start_"))
+                dropped = True
+            tampered.add_transition(t.src, t.dst, t.conditions, actions)
+        assert dropped
+        broken = SystemController(
+            controller.name, controller.phase_fsm,
+            {**controller.sequencers, resource: tampered},
+            controller.done_flags)
+        check = verify_composition(mini, broken, graph=graph)
+        assert not check.equivalent
+        assert check.mismatches
+
+
+class TestVerifyFlowStage:
+    @pytest.fixture(scope="class")
+    def flow_and_result(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner())
+        return flow, graph, flow.run(graph)
+
+    def test_composition_check_exposed(self, flow_and_result):
+        _, _, result = flow_and_result
+        assert result.composition_check is not None
+        assert result.composition_check.equivalent
+        assert result.stage_runs.get("verify") == 1
+        assert "verify" in result.stage_seconds
+
+    def test_report_mentions_verification(self, flow_and_result):
+        _, _, result = flow_and_result
+        assert "verified composition" in result.report()
+
+    def test_stage_is_fingerprint_cached(self, flow_and_result):
+        flow, graph, _ = flow_and_result
+        warm = flow.run(graph)
+        assert warm.composition_check is not None
+        assert warm.composition_check.equivalent
+        assert warm.stage_runs.get("verify", 0) == 0
+
+    def test_opt_out(self):
+        graph = four_band_equalizer(words=8)
+        flow = CoolFlow(minimal_board(), partitioner=GreedyPartitioner(),
+                        verify_composition=False)
+        result = flow.run(graph)
+        assert result.composition_check is None
+        assert result.stage_runs.get("verify", 0) == 0
