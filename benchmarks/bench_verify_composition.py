@@ -1,0 +1,226 @@
+"""Verification v2 at suite scale: the tiered composition check.
+
+Drives :func:`repro.controllers.verify_composition` over the same
+52-design population as ``bench_controller_synthesis`` (50-graph
+workload suite + two larger random graphs) and persists the numbers to
+``BENCH_verify_composition.json`` at the repo root:
+
+* ``exhaustive`` -- the bisimulation tier: how many designs were
+  *proved* trace-equivalent to their minimized STG under every
+  admissible environment and every stream length (restart loop
+  included), product/reference automaton sizes, projection counts and
+  wall-clock.  Designs whose reachable product exceeds ``max_states``
+  must fall back to the sampled tier *with a recorded reason* -- a
+  silent fallback is a bug.
+* ``sampled`` -- the environment-sampling tier forced on every design
+  (the cost baseline, and the tier large designs actually get).
+
+The functional gates always apply: every design equivalent under both
+strategies, every fallback justified, and the exhaustive tier covering
+the bulk of the suite.  The cost gate -- exhaustive wall-clock within
+``EXHAUSTIVE_BUDGET_FACTOR`` x the sampled baseline -- runs only at
+full suite size, like the other benches (millisecond timings on shared
+CI runners are noise).
+
+Runs under pytest-benchmark or standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_verify_composition.py --graphs 8
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from bench_controller_synthesis import _suite_designs
+from repro.controllers import synthesize_system_controller, verify_composition
+from repro.controllers.verify import DEFAULT_MAX_PRODUCT_STATES
+from repro.stg import build_stg, minimize_stg
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_verify_composition.json"
+
+DEFAULT_GRAPHS = 50
+SUITE_SEED = 7
+#: The exhaustive tier explores every admissible environment, so it is
+#: allowed this much more wall-clock than the 3-environment sampler;
+#: measured ~20x on the committed suite, gated with ~3x headroom.
+EXHAUSTIVE_BUDGET_FACTOR = 60.0
+#: Fraction of the suite the bisimulation tier must actually prove.
+MIN_EXHAUSTIVE_COVERAGE = 0.8
+
+
+def measure(n_graphs: int = DEFAULT_GRAPHS, seed: int = SUITE_SEED,
+            max_states: int = DEFAULT_MAX_PRODUCT_STATES) -> dict:
+    prepared = []
+    for graph, schedule in _suite_designs(n_graphs, seed):
+        mini, _ = minimize_stg(build_stg(schedule))
+        prepared.append((graph, mini,
+                         synthesize_system_controller(mini)))
+
+    per_design = []
+    auto_started = time.perf_counter()
+    for graph, mini, controller in prepared:
+        started = time.perf_counter()
+        check = verify_composition(mini, controller, graph=graph,
+                                   max_states=max_states)
+        per_design.append((graph.name, check,
+                           time.perf_counter() - started))
+    auto_s = time.perf_counter() - auto_started
+
+    sampled_started = time.perf_counter()
+    sampled_checks = [verify_composition(mini, controller, graph=graph,
+                                         strategy="sampled")
+                      for graph, mini, controller in prepared]
+    sampled_s = time.perf_counter() - sampled_started
+
+    proved = [(name, check, seconds) for name, check, seconds in per_design
+              if check.tier == "bisimulation"]
+    fallbacks = [(name, check) for name, check, _ in per_design
+                 if check.tier == "sampled"]
+    exhaustive_s = sum(seconds for _, _, seconds in proved)
+    slowest = max(proved, key=lambda entry: entry[2], default=None)
+    return {
+        "suite": {
+            "graphs": len(prepared),
+            "workload_graphs": n_graphs,
+            "seed": seed,
+            "max_states": max_states,
+        },
+        "exhaustive": {
+            "proved": len(proved),
+            "equivalent": sum(check.equivalent
+                              for _, check, _ in proved),
+            "verify_s": round(exhaustive_s, 6),
+            "product_states": sum(check.product_states
+                                  for _, check, _ in proved),
+            "largest_product": max((check.product_states
+                                    for _, check, _ in proved), default=0),
+            "projections": sum(check.projections_checked
+                               for _, check, _ in proved),
+            "starts_checked": sum(check.starts_checked
+                                  for _, check, _ in proved),
+            "slowest_design": None if slowest is None else {
+                "name": slowest[0],
+                "seconds": round(slowest[2], 6),
+                "product_states": slowest[1].product_states,
+            },
+        },
+        "fallback": {
+            "designs": len(fallbacks),
+            "all_reasons_recorded": all(check.fallback_reason
+                                        for _, check in fallbacks),
+            "equivalent": sum(check.equivalent for _, check in fallbacks),
+            "names": sorted(name for name, _ in fallbacks),
+        },
+        "sampled_baseline": {
+            "verify_s": round(sampled_s, 6),
+            "equivalent": sum(check.equivalent
+                              for check in sampled_checks),
+            "designs": len(sampled_checks),
+            "environments": sampled_checks[0].environments
+            if sampled_checks else 0,
+            "activations": sampled_checks[0].activations
+            if sampled_checks else 0,
+        },
+        "auto_total_s": round(auto_s, 6),
+    }
+
+
+def check(payload: dict, timing_margin: float | None = 1.0) -> None:
+    """The verification-v2 gate (shared by pytest and the CLI).
+
+    ``timing_margin=None`` skips the wall-clock comparison (CI smoke on
+    shared runners); the functional gates always apply.
+    """
+    exhaustive = payload["exhaustive"]
+    fallback = payload["fallback"]
+    sampled = payload["sampled_baseline"]
+    designs = payload["suite"]["graphs"]
+
+    assert exhaustive["equivalent"] == exhaustive["proved"], \
+        "a bisimulation-tier design failed the equivalence proof"
+    assert fallback["equivalent"] == fallback["designs"], \
+        "a fallback design failed the sampled equivalence check"
+    assert sampled["equivalent"] == sampled["designs"], \
+        "a design failed the forced sampled tier"
+    assert exhaustive["proved"] + fallback["designs"] == designs
+    assert fallback["all_reasons_recorded"], \
+        "a design fell back to sampling without a recorded reason"
+    assert exhaustive["proved"] >= MIN_EXHAUSTIVE_COVERAGE * designs, \
+        (f"bisimulation tier only covered {exhaustive['proved']}/{designs} "
+         f"designs (min {MIN_EXHAUSTIVE_COVERAGE:.0%})")
+    assert exhaustive["largest_product"] <= payload["suite"]["max_states"]
+    if timing_margin is not None:
+        budget = sampled["verify_s"] * EXHAUSTIVE_BUDGET_FACTOR \
+            * timing_margin
+        assert exhaustive["verify_s"] <= budget, \
+            (f"exhaustive tier ({exhaustive['verify_s']}s) blew its "
+             f"{EXHAUSTIVE_BUDGET_FACTOR}x budget vs the sampled "
+             f"baseline ({sampled['verify_s']}s)")
+
+
+def report(payload: dict) -> str:
+    suite = payload["suite"]
+    exhaustive = payload["exhaustive"]
+    fallback = payload["fallback"]
+    sampled = payload["sampled_baseline"]
+    lines = ["Verification v2 -- tiered composition check at suite scale:"]
+    lines.append(f"  suite               : {suite['graphs']} designs "
+                 f"(max_states {suite['max_states']})")
+    lines.append(f"  bisimulation tier   : {exhaustive['proved']} proved in "
+                 f"{exhaustive['verify_s'] * 1e3:8.1f} ms "
+                 f"({exhaustive['product_states']} product states, "
+                 f"{exhaustive['projections']} projections)")
+    if exhaustive["slowest_design"]:
+        slowest = exhaustive["slowest_design"]
+        lines.append(f"  slowest proof       : {slowest['name']} "
+                     f"({slowest['seconds'] * 1e3:.1f} ms, "
+                     f"{slowest['product_states']} states)")
+    lines.append(f"  fallback (sampled)  : {fallback['designs']} designs "
+                 f"{fallback['names']}")
+    lines.append(f"  sampled baseline    : {sampled['designs']} designs in "
+                 f"{sampled['verify_s'] * 1e3:8.1f} ms "
+                 f"({sampled['environments']} environments x "
+                 f"{sampled['activations']} activations)")
+    return "\n".join(lines)
+
+
+def test_verify_composition_benchmark(benchmark, run_once):
+    payload = run_once(benchmark, measure)
+    assert payload["suite"]["workload_graphs"] >= 50
+    check(payload)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\n" + report(payload))
+    print(f"  results -> {RESULTS_PATH.name}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Tiered composition verification at suite scale")
+    parser.add_argument("--graphs", type=int, default=DEFAULT_GRAPHS,
+                        help="workload suite size (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=SUITE_SEED,
+                        help="suite seed (default %(default)s)")
+    parser.add_argument("--max-states", type=int,
+                        default=DEFAULT_MAX_PRODUCT_STATES,
+                        help="bisimulation-tier product bound "
+                             "(default %(default)s)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_verify_composition.json "
+                             "(CI smoke runs)")
+    args = parser.parse_args(argv)
+    payload = measure(args.graphs, args.seed, args.max_states)
+    check(payload,
+          timing_margin=1.0 if args.graphs >= DEFAULT_GRAPHS else None)
+    if not args.no_write:
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(report(payload))
+    if not args.no_write:
+        print(f"  results -> {RESULTS_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

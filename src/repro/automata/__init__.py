@@ -4,20 +4,23 @@
 package; see :mod:`repro.automata.core` for the design notes.
 """
 
+from .bisim import BisimResult, distinguishing_trace, weak_bisimilar
 from .core import (AutomataError, Automaton, AutomatonBuilder, SymbolTable,
                    Transition)
 from .encoding import encode_automaton, encode_names
 from .executor import Firing, SequentialRunner, TokenExecutor
 from .minimize import (PartitionRefinement, minimize_automaton, quotient,
                        refine_partition)
-from .product import (CompositionConfig, SynchronousComposition,
-                      internal_signals, synchronous_product)
+from .product import (CompositionConfig, ProductEnvironment,
+                      SynchronousComposition, internal_signals,
+                      reachable_automaton, synchronous_product)
 
 __all__ = [
     "AutomataError", "Automaton", "AutomatonBuilder", "SymbolTable",
     "Transition", "encode_automaton", "encode_names", "Firing",
     "SequentialRunner", "TokenExecutor", "PartitionRefinement",
     "minimize_automaton", "quotient", "refine_partition",
-    "CompositionConfig", "SynchronousComposition", "internal_signals",
-    "synchronous_product",
+    "BisimResult", "distinguishing_trace", "weak_bisimilar",
+    "CompositionConfig", "ProductEnvironment", "SynchronousComposition",
+    "internal_signals", "reachable_automaton", "synchronous_product",
 ]

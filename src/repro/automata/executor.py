@@ -78,10 +78,54 @@ class TokenExecutor:
         """True once a final state has activated."""
         return any(s in self.active for s in self.final)
 
+    def snapshot(self) -> tuple:
+        """Hashable snapshot of the activation state.
+
+        Captures exactly what determines future behaviour -- latched
+        signals, active states, firing counters and the fired-once
+        markers.  The trace and step counter are diagnostics, not
+        semantics, so they are excluded (and reset by :meth:`restore`);
+        two configurations reached along different paths therefore
+        snapshot equal, which is what lets reachability explorers use
+        snapshots as state identities.
+        """
+        return (frozenset(self.latched), frozenset(self.active),
+                tuple(self.fired_in), tuple(self.fired_out),
+                frozenset(self._fired_keys))
+
+    def done_in(self, snapshot: tuple) -> bool:
+        """Would :attr:`done` hold in ``snapshot``, without restoring it?
+
+        Lives next to :meth:`snapshot` on purpose: callers must not
+        index into the snapshot tuple themselves.
+        """
+        _, active, _, _, _ = snapshot
+        return any(s in active for s in self.final)
+
+    def restore(self, snapshot: tuple) -> None:
+        """Load a :meth:`snapshot`; trace/step diagnostics start fresh."""
+        latched, active, fired_in, fired_out, fired_keys = snapshot
+        self.latched = set(latched)
+        self.active = set(active)
+        self.fired_in = list(fired_in)
+        self.fired_out = list(fired_out)
+        self._fired_keys = set(fired_keys)
+        self.trace = []
+        self.step_count = 0
+
     # ------------------------------------------------------------------
-    def step(self, signals: Iterable[int] | None = None) -> list[int]:
-        """Latch ``signals``, fire every enabled transition to a fixed
-        point, return the emitted action IDs in firing order."""
+    def step(self, signals: Iterable[int] | None = None,
+             max_rounds: int | None = None) -> list[int]:
+        """Latch ``signals``, fire enabled transitions, return the
+        emitted action IDs in firing order.
+
+        By default transitions fire to a fixed point -- an unguarded
+        chain collapses into one step.  ``max_rounds`` bounds the
+        number of firing rounds instead: with ``max_rounds=1`` only the
+        states active at the start of the step fire, which exposes the
+        intermediate configurations a cycle-stepped controller walks
+        through (the granularity the composition verifier compares at).
+        """
         if signals:
             self.latched.update(signals)
         self.step_count += 1
@@ -89,9 +133,11 @@ class TokenExecutor:
         automaton = self.automaton
         latched = self.latched
         name_of = automaton.name_of
+        rounds = 0
         progress = True
-        while progress:
+        while progress and (max_rounds is None or rounds < max_rounds):
             progress = False
+            rounds += 1
             for state in sorted(self.active, key=name_of):
                 for transition in automaton.out(state):
                     key = (transition.src, transition.dst,

@@ -24,14 +24,16 @@ flags, per-component consume-once broadcast channels.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
 
 from .core import Automaton, AutomataError, AutomatonBuilder
 from .executor import SequentialRunner
 
 __all__ = ["CompositionConfig", "SynchronousComposition",
-           "internal_signals", "synchronous_product"]
+           "internal_signals", "ProductEnvironment", "reachable_automaton",
+           "synchronous_product"]
 
 
 def internal_signals(components: Sequence[Automaton]) -> tuple[str, ...]:
@@ -112,6 +114,16 @@ class SynchronousComposition:
                 frozenset(self.internal),
                 tuple(frozenset(c) for c in self.consumed))
 
+    @staticmethod
+    def component_states(configuration: tuple) -> tuple[int, ...]:
+        """The per-component state indices inside a
+        :meth:`configuration` key.  Lives next to the layout definition
+        on purpose: consumers of configuration keys (e.g. completion
+        predicates over product states) must not index into the tuple
+        themselves."""
+        states, _, _, _ = configuration
+        return states
+
     # ------------------------------------------------------------------
     def cycle(self, pulses: Iterable[str] | None = None,
               held: Iterable[str] | None = None) -> list[str]:
@@ -158,46 +170,87 @@ class SynchronousComposition:
         return external
 
 
-def synchronous_product(components: Sequence[Automaton],
-                        config: CompositionConfig | None = None,
-                        letters: Sequence[Iterable[str]] | None = None,
-                        max_states: int = 4096) -> Automaton:
-    """Materialize the reachable product automaton of a composition.
+class ProductEnvironment:
+    """State-dependent input policy for product materialization.
 
-    Composite configurations become product states; every cycle under
-    an input *letter* (a set of external pulses) becomes a transition
-    whose conditions are the letter and whose actions are the external
-    outputs of that cycle.  ``letters`` defaults to the silent letter
-    plus one single-pulse letter per external input signal -- the
-    alphabet under which controller compositions are driven in closed
-    loop.  Raises :class:`AutomataError` when the reachable set exceeds
-    ``max_states``.
+    The base class replays a fixed alphabet in every state (the open
+    product).  Subclasses refine which letters are *admissible* in a
+    given configuration by overriding :meth:`letters` and fold any
+    bookkeeping the policy needs (e.g. which units are busy) into an
+    immutable environment state threaded through :meth:`advance`.  The
+    environment state is part of the product's state identity, so two
+    visits to the same component configuration under different
+    environment histories stay distinct.
     """
-    scratch = SynchronousComposition(components, config)
-    if letters is None:
-        hidden = set(scratch.config.internal)
-        externals = sorted({name for c in components
-                            for name in c.input_names()} - hidden)
-        letters = [frozenset()] + [frozenset({s}) for s in externals]
-    letters = [frozenset(letter) for letter in letters]
 
-    def state_label(config_key: tuple, index: int) -> str:
-        names = "|".join(c.name_of(s)
-                         for c, s in zip(scratch.components, config_key[0]))
-        return f"p{index}[{names}]"
+    def __init__(self, letters: Sequence[Iterable[str]] = ()) -> None:
+        self._letters = tuple(frozenset(letter) for letter in letters)
 
-    initial_key = scratch.configuration()
+    def initial_state(self) -> Hashable:
+        return None
+
+    def letters(self, env_state: Hashable,
+                config: Hashable) -> Iterable[frozenset]:
+        """Admissible input letters in ``config`` (deterministic order)."""
+        return self._letters
+
+    def advance(self, env_state: Hashable, letter: frozenset,
+                actions: tuple[str, ...]) -> Hashable:
+        """Environment state after one step under ``letter``/``actions``."""
+        return None
+
+
+def reachable_automaton(name: str, initial_config: Hashable,
+                        step: Callable[[Hashable, frozenset],
+                                       tuple[Hashable, tuple[str, ...]]],
+                        *, letters: Sequence[Iterable[str]] = (),
+                        environment: ProductEnvironment | None = None,
+                        label_of: Callable[[Hashable, int], str] | None = None,
+                        max_states: int = 4096) -> Automaton:
+    """Materialize the reachable step-transition system of a stepper.
+
+    Generic BFS over the configurations a deterministic ``step(config,
+    letter) -> (successor, actions)`` function reaches from
+    ``initial_config`` under an input alphabet.  Configurations are
+    discovered breadth-first, so state indices are stable distance-then-
+    discovery ranks and the result is deterministic.  Both the
+    composition product (:func:`synchronous_product`) and the STG
+    reference explorer of the composition verifier are views over this
+    one materializer.
+
+    ``environment`` decides the letters admissible in each state
+    (default: the fixed ``letters`` alphabet everywhere); its state is
+    folded into the explored state identity.  The two alphabet sources
+    are mutually exclusive -- an environment policy owns its letters
+    entirely, so passing both is rejected rather than silently
+    preferring one.  Raises :class:`AutomataError` when the reachable
+    set exceeds ``max_states``.
+    """
+    if environment is None:
+        environment = ProductEnvironment(letters)
+    elif letters:
+        raise AutomataError("pass either a fixed letters alphabet or an "
+                            "environment policy, not both")
+
+    def state_label(key: tuple, index: int) -> str:
+        if label_of is not None:
+            return label_of(key[0], index)
+        return f"s{index}"
+
+    initial_key = (initial_config, environment.initial_state())
     labels: dict[tuple, str] = {initial_key: state_label(initial_key, 0)}
-    builder = AutomatonBuilder("x".join(c.name for c in components))
+    builder = AutomatonBuilder(name)
     builder.add_state(labels[initial_key], key=initial_key)
-    pending = [initial_key]
+    pending: deque[tuple] = deque([initial_key])
     transitions: list[tuple[str, str, frozenset, tuple[str, ...]]] = []
     while pending:
-        config_key = pending.pop()
-        for letter in letters:
-            _restore(scratch, config_key)
-            actions = scratch.cycle(pulses=letter)
-            successor = scratch.configuration()
+        key = pending.popleft()
+        config, env_state = key
+        for letter in environment.letters(env_state, config):
+            letter = frozenset(letter)
+            successor_config, actions = step(config, letter)
+            successor = (successor_config,
+                         environment.advance(env_state, letter, actions))
             if successor not in labels:
                 if len(labels) >= max_states:
                     raise AutomataError(
@@ -205,12 +258,60 @@ def synchronous_product(components: Sequence[Automaton],
                 labels[successor] = state_label(successor, len(labels))
                 builder.add_state(labels[successor], key=successor)
                 pending.append(successor)
-            transitions.append((labels[config_key], labels[successor],
+            transitions.append((labels[key], labels[successor],
                                 letter, tuple(actions)))
     for src, dst, letter, actions in transitions:
         builder.add_transition(src, dst, conditions=sorted(letter),
                                actions=actions)
     return builder.build(initial=labels[initial_key])
+
+
+def synchronous_product(components: Sequence[Automaton],
+                        config: CompositionConfig | None = None,
+                        letters: Sequence[Iterable[str]] | None = None,
+                        max_states: int = 4096,
+                        environment: ProductEnvironment | None = None,
+                        held: Iterable[str] = ()) -> Automaton:
+    """Materialize the reachable product automaton of a composition.
+
+    Composite configurations become product states; every cycle under
+    an input *letter* (a set of external pulses) becomes a transition
+    whose conditions are the letter and whose actions are the external
+    outputs of that cycle.  States are explored breadth-first, so the
+    ``p<index>[...]`` labels are distance-then-discovery ranks.
+    ``letters`` defaults to the silent letter plus one single-pulse
+    letter per external input signal -- the alphabet under which
+    controller compositions are driven in closed loop; alternatively an
+    ``environment`` policy chooses the admissible letters per state
+    (and its bookkeeping becomes part of the product state).  Signals
+    in ``held`` are delivered level-style for one cycle (command pulses
+    like ``restart``) instead of being latched into the flag register.
+    Raises :class:`AutomataError` when the reachable set exceeds
+    ``max_states``.
+    """
+    scratch = SynchronousComposition(components, config)
+    if letters is None and environment is None:
+        hidden = set(scratch.config.internal)
+        externals = sorted({name for c in components
+                            for name in c.input_names()} - hidden)
+        letters = [frozenset()] + [frozenset({s}) for s in externals]
+    held = frozenset(held)
+
+    def step(config_key: tuple,
+             letter: frozenset) -> tuple[tuple, tuple[str, ...]]:
+        _restore(scratch, config_key)
+        actions = scratch.cycle(pulses=letter - held, held=letter & held)
+        return scratch.configuration(), tuple(actions)
+
+    def label_of(config_key: tuple, index: int) -> str:
+        names = "|".join(c.name_of(s)
+                         for c, s in zip(scratch.components, config_key[0]))
+        return f"p{index}[{names}]"
+
+    return reachable_automaton(
+        "x".join(c.name for c in components), scratch.configuration(), step,
+        letters=letters or (), environment=environment, label_of=label_of,
+        max_states=max_states)
 
 
 def _restore(composition: SynchronousComposition, config_key: tuple) -> None:

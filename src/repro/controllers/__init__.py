@@ -2,8 +2,10 @@
 
 from .fsm import Fsm, FsmError, FsmTransition, encode_states
 from .system_controller import (ControllerHarness, SystemController,
+                                controller_composition,
                                 synthesize_system_controller)
-from .verify import CompositionCheck, verify_composition
+from .verify import (DEFAULT_MAX_PRODUCT_STATES, CompositionCheck,
+                     verify_composition)
 from .datapath_controller import (DatapathController,
                                   synthesize_datapath_controller)
 from .io_controller import IoController, synthesize_io_controller
@@ -11,8 +13,9 @@ from .bus_arbiter import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
 
 __all__ = [
     "Fsm", "FsmError", "FsmTransition", "encode_states",
-    "ControllerHarness", "SystemController", "synthesize_system_controller",
-    "CompositionCheck", "verify_composition",
+    "ControllerHarness", "SystemController", "controller_composition",
+    "synthesize_system_controller",
+    "CompositionCheck", "verify_composition", "DEFAULT_MAX_PRODUCT_STATES",
     "DatapathController", "synthesize_datapath_controller", "IoController",
     "synthesize_io_controller", "Arbiter", "FixedPriorityArbiter",
     "RoundRobinArbiter",

@@ -35,14 +35,43 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..automata import CompositionConfig, SynchronousComposition
+from ..automata import Automaton, CompositionConfig, SynchronousComposition
 from ..fingerprint import content_hash
 from ..stg.builder import global_state
 from ..stg.states import StateKind, Stg, StgError
 from .fsm import Fsm
 
 __all__ = ["SystemController", "ControllerHarness",
-           "synthesize_system_controller"]
+           "controller_composition", "synthesize_system_controller",
+           "PHASE_DONE_STATE"]
+
+#: Phase-FSM state that marks a completed activation (``system_done``).
+PHASE_DONE_STATE = "done"
+
+
+def controller_composition(controller: "SystemController"
+                           ) -> tuple[list[Automaton], CompositionConfig]:
+    """The kernel components + channel wiring of a controller.
+
+    One source of truth for how the phase FSM and the sequencers
+    communicate: ``go`` / ``phase_done_*`` ride the internal latches,
+    ``clear_flags`` wipes the done-flag register, ``go`` is consumed
+    once per sequencer activation and the phase FSM's ``reset`` state
+    flushes the latches.  Both the executing
+    :class:`ControllerHarness` and the product materialization inside
+    :func:`repro.controllers.verify.verify_composition` build their
+    composition from here, so the verified object and the simulated one
+    cannot drift apart.
+    """
+    components = [fsm.to_automaton() for fsm in controller.fsms]
+    internal = ("go",) + tuple(f"phase_done_{r}"
+                               for r in controller.sequencers)
+    config = CompositionConfig(internal=internal,
+                               clear_action="clear_flags",
+                               consume_once=("go",),
+                               flush_component=0,
+                               flush_states=("reset",))
+    return components, config
 
 
 @dataclass
@@ -204,16 +233,8 @@ class ControllerHarness:
 
     def __init__(self, controller: SystemController) -> None:
         self.controller = controller
-        components = [fsm.to_automaton() for fsm in controller.fsms]
-        internal = ("go",) + tuple(f"phase_done_{r}"
-                                   for r in controller.sequencers)
-        self._composition = SynchronousComposition(
-            components,
-            CompositionConfig(internal=internal,
-                              clear_action="clear_flags",
-                              consume_once=("go",),
-                              flush_component=0,
-                              flush_states=("reset",)))
+        components, config = controller_composition(controller)
+        self._composition = SynchronousComposition(components, config)
 
     # ------------------------------------------------------------------
     @property
@@ -247,7 +268,7 @@ class ControllerHarness:
 
     @property
     def system_done(self) -> bool:
-        return self.phase_state == "done"
+        return self.phase_state == PHASE_DONE_STATE
 
     def configuration(self) -> tuple:
         """Hashable snapshot of the composite configuration."""
@@ -301,14 +322,14 @@ def synthesize_system_controller(stg: Stg,
     phase = Fsm("phase")
     phase.add_state("reset")
     phase.add_state("run")
-    phase.add_state("done")
+    phase.add_state(PHASE_DONE_STATE)
     reset_actions = tuple(f"reset_{r}" for r in resources) + ("clear_flags",)
     phase.add_transition("reset", "run", actions=reset_actions + ("go",))
     phase.add_transition(
-        "run", "done",
+        "run", PHASE_DONE_STATE,
         conditions=tuple(f"phase_done_{r}" for r in resources),
         actions=("system_done",))
-    phase.add_transition("done", "reset", conditions=("restart",))
+    phase.add_transition(PHASE_DONE_STATE, "reset", conditions=("restart",))
 
     unminimized: dict[str, int] = {}
     if minimize:

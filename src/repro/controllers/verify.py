@@ -4,22 +4,53 @@ The paper's central correctness claim is that the *composition* of
 communicating controllers (phase FSM x per-resource sequencers, talking
 over ``go`` / ``phase_done_*`` / the done-flag registers) implements
 exactly the scheduled behaviour the STG specifies.  This module checks
-that claim for every synthesized design:
+that claim for every synthesized design with a **tiered strategy**:
 
-Both sides run in closed loop against the same family of deterministic
-environments (unit latencies drawn per (environment, node), from the
-ideal one-cycle responder to staggered multi-cycle ones), and their
-observable behaviour must agree:
+**Tier 1 -- exhaustive bisimulation** (small designs).  Both sides are
+materialized as finite step automata under the *admissible environment
+closure*: per state, the environment may stay silent, deliver the done
+pulse of any in-flight node (started, completion not yet reported), or
+-- once the activation completed -- pulse ``restart``.  The controller
+side is :func:`repro.automata.synchronous_product` over the exact
+harness composition; the STG side is the token executor explored
+through the same :func:`repro.automata.reachable_automaton`
+materializer.  The two automata are then compared by **weak
+bisimulation** (:func:`repro.automata.weak_bisimilar` -- kernel
+partition refinement on the τ-saturated disjoint union), projected per
+observable class:
 
-* both complete their activation (global DONE reached / phase ``done``);
-* the **per-resource start sequences** are identical -- interleaving
-  across concurrent units is not observable, the projection onto each
-  unit is;
-* the **action multisets** are identical (the controller adds only its
-  ``system_done`` completion strobe);
-* every data dependency is respected on both sides (producer started
-  before consumer), when the task graph is available.
+* one projection per processing unit, keeping that unit's commands
+  (its reads/starts/writes and its reset) -- interleaving *across*
+  concurrent units is not observable, the per-unit command order is;
+* one projection per remaining external signal.
 
+Because the admissible closure branches over *every* environment
+decision and the ``restart`` edge loops the product back through the
+reset phase, a passing tier proves trace equivalence for **all**
+admissible environments and **all** stream lengths of back-to-back
+activations -- flag-register clearing, consume-once ``go`` re-arming
+and the flush of the internal latches included.  (Simultaneous done
+pulses are covered by the single-pulse alphabet: the flag registers
+latch-and-hold, so delivering pulses in consecutive cycles reaches the
+same configurations.)  Data-dependency order on the *controller* side
+needs no separate check: a controller that starts a consumer without
+its producer's done flag diverges from the STG under the environment
+that withholds that pulse.  The STG's own traces are still
+sanity-checked against the task graph -- bisimulation cannot see a
+schedule bug both sides mirror faithfully.
+
+**Tier 2 -- environment sampling** (fallback, recorded in
+``CompositionCheck.fallback_reason``).  When the reachable product
+exceeds ``max_states``, both sides run in closed loop against a family
+of deterministic environments (unit latencies drawn per (environment,
+node)) for ``activations`` back-to-back activations through the
+restart path, and their observable behaviour must agree per
+activation: identical per-resource start sequences, identical action
+multisets (compared as multisets -- equal sets with different
+multiplicities are a mismatch), and intact data-dependency order
+anchored on each node's *first* start per activation.
+
+``CompositionCheck.tier`` records which tier produced the verdict.
 The check is exposed to the flow as the ``verify`` pipeline stage
 (fingerprint-cached like every other stage) and surfaces in
 ``FlowResult.composition_check``.
@@ -28,42 +59,298 @@ The check is exposed to the flow as the ``verify`` pipeline stage
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 
+from ..automata import (AutomataError, SynchronousComposition,
+                        TokenExecutor, weak_bisimilar)
+from ..automata.product import (ProductEnvironment, reachable_automaton,
+                                synchronous_product)
 from ..stg.interp import StgExecutor
-from ..stg.states import Stg
-from .system_controller import ControllerHarness, SystemController
+from ..stg.states import StateKind, Stg
+from .system_controller import (PHASE_DONE_STATE, ControllerHarness,
+                                SystemController, controller_composition)
 
-__all__ = ["CompositionCheck", "verify_composition"]
+__all__ = ["CompositionCheck", "verify_composition",
+           "controller_product_automaton", "stg_step_automaton",
+           "DEFAULT_MAX_PRODUCT_STATES"]
 
 _START = "start_"
 _DONE = "done_"
+_RESTART = "restart"
 #: Controller-only strobes that have no STG counterpart.
 _CONTROLLER_ONLY = ("system_done",)
+
+#: Largest reachable product (per side) the bisimulation tier attempts.
+#: Calibrated on the 52-design bench suite: everything up to the
+#: 40-node scale graph (~450 composite states) proves in well under
+#: ~2.5 s, while the 80-node graph (~2500 states) would take tens of
+#: seconds -- past this bound the sampled tier takes over.
+DEFAULT_MAX_PRODUCT_STATES = 2000
 
 
 @dataclass(frozen=True)
 class CompositionCheck:
-    """Outcome of one composed-controller vs. STG equivalence check."""
+    """Outcome of one composed-controller vs. STG equivalence check.
+
+    ``tier`` is ``"bisimulation"`` (exhaustive: every admissible
+    environment, every stream length) or ``"sampled"`` (deterministic
+    environment family, ``activations`` streamed activations each).
+    ``fallback_reason`` records why the exhaustive tier was skipped
+    when the sampled tier produced the verdict.
+    """
 
     equivalent: bool
-    environments: int
-    starts_checked: int
-    actions_checked: int
-    composite_configurations: int
+    tier: str
+    environments: int = 0
+    activations: int = 1
+    starts_checked: int = 0
+    actions_checked: int = 0
+    composite_configurations: int = 0
+    #: Bisimulation tier: reachable step-automaton sizes and the number
+    #: of per-observable-class projections refined.
+    product_states: int = 0
+    reference_states: int = 0
+    projections_checked: int = 0
+    fallback_reason: str | None = None
     mismatches: tuple[str, ...] = ()
 
     def summary(self) -> dict:
         return {
             "equivalent": self.equivalent,
+            "tier": self.tier,
             "environments": self.environments,
+            "activations": self.activations,
             "starts_checked": self.starts_checked,
             "actions_checked": self.actions_checked,
             "composite_configurations": self.composite_configurations,
+            "product_states": self.product_states,
+            "reference_states": self.reference_states,
+            "projections_checked": self.projections_checked,
+            "fallback_reason": self.fallback_reason,
             "mismatches": list(self.mismatches),
         }
 
 
+# ----------------------------------------------------------------------
+# tier 1: exhaustive weak bisimulation under the admissible closure
+# ----------------------------------------------------------------------
+class _AdmissibleEnvironment(ProductEnvironment):
+    """All environment behaviours the processing units can exhibit.
+
+    The environment state is the set of in-flight nodes (``start_*``
+    seen, ``done_*`` not yet delivered).  Admissible letters: silence,
+    the done pulse of any in-flight node, and -- once ``completed``
+    holds for the configuration -- the ``restart`` command, which loops
+    streamed activations into the reachable product.
+    """
+
+    def __init__(self, completed) -> None:
+        super().__init__()
+        self._completed = completed
+
+    def initial_state(self):
+        return frozenset()
+
+    def letters(self, env_state, config):
+        letters = [frozenset()]
+        letters.extend(frozenset({_DONE + node})
+                       for node in sorted(env_state))
+        if self._completed(config):
+            letters.append(frozenset({_RESTART}))
+        return letters
+
+    def advance(self, env_state, letter, actions):
+        in_flight = set(env_state)
+        for action in actions:
+            if action.startswith(_START):
+                in_flight.add(action[len(_START):])
+        for signal in letter:
+            if signal.startswith(_DONE):
+                in_flight.discard(signal[len(_DONE):])
+        return frozenset(in_flight)
+
+
+def controller_product_automaton(
+        controller: SystemController,
+        max_states: int = DEFAULT_MAX_PRODUCT_STATES):
+    """The harness composition, materialized under the admissible closure.
+
+    One side of the bisimulation tier, exposed for kernel-level
+    inspection: a finite automaton of every configuration the
+    communicating controllers can reach under any admissible
+    environment, restart loop included.
+    """
+    components, config = controller_composition(controller)
+    phase = components[0]  # phase-first ordering set by controller_composition
+
+    def completed(config_key: tuple) -> bool:
+        states = SynchronousComposition.component_states(config_key)
+        return phase.name_of(states[0]) == PHASE_DONE_STATE
+
+    return synchronous_product(
+        components, config,
+        environment=_AdmissibleEnvironment(completed),
+        held=(_RESTART,), max_states=max_states)
+
+
+def stg_step_automaton(stg: Stg,
+                       max_states: int = DEFAULT_MAX_PRODUCT_STATES):
+    """The STG's token-semantics step automaton under the same closure.
+
+    Steps fire **one round** each (``max_rounds=1``) instead of the
+    executor's default run-to-fixpoint: the controller composition
+    walks chained STG transitions in consecutive clock cycles, and the
+    environment may slip a done pulse between them -- the reference
+    must expose those intermediate configurations or harmless
+    input-vs-pending-output interleavings would read as mismatches.
+    ``restart`` resets the executor -- a fresh activation -- so the
+    reference automaton contains the same restart loop as the product.
+    """
+    automaton = stg.to_automaton()
+    final = frozenset(automaton.index_of(s.name)
+                      for s in stg.states_of_kind(StateKind.GLOBAL_DONE))
+    executor = TokenExecutor(automaton, final=final)
+    symbols = automaton.symbols
+
+    def completed(snapshot: tuple) -> bool:
+        return executor.done_in(snapshot)
+
+    def step(snapshot: tuple, letter: frozenset):
+        if _RESTART in letter:
+            executor.reset()
+            return executor.snapshot(), ()
+        executor.restore(snapshot)
+        emitted = executor.step(symbols.ids_of(letter), max_rounds=1)
+        return executor.snapshot(), symbols.names_of(emitted)
+
+    return reachable_automaton(
+        f"{stg.name}_steps", executor.snapshot(), step,
+        environment=_AdmissibleEnvironment(completed),
+        label_of=lambda snapshot, index: f"q{index}",
+        max_states=max_states)
+
+
+def _has_restart_edge(automaton) -> bool:
+    """Does any reachable configuration admit the restart command?"""
+    restart = automaton.symbols.id_of(_RESTART)
+    return restart is not None and any(restart in t.conditions
+                                       for t in automaton.transitions)
+
+
+def _external_actions(automaton) -> set[str]:
+    symbols = automaton.symbols
+    return {symbols.name_of(a)
+            for t in automaton.transitions for a in t.actions}
+
+
+def _observable_classes(reference, product,
+                        resource_of: dict[str, str]
+                        ) -> list[tuple[str, frozenset[str]]]:
+    """Partition the external action alphabet into projection classes.
+
+    One class per processing unit holding its ``start_*`` commands and
+    its ``reset_*`` line -- the order of starts *within* a unit is
+    observable (it is the schedule), and at most one of them fires per
+    step on either side, so the per-step canonical action order cannot
+    alias.  Every remaining signal (the ``read_*``/``write_*`` memory
+    commands) is its own singleton class: its timing pattern relative
+    to the input letters is checked exactly, while its order against
+    *other* commands inside one concurrent burst is not -- precisely
+    the interleaving freedom concurrent units have.  Controller-only
+    strobes are never observable.
+    """
+    actions = (_external_actions(reference) | _external_actions(product)) \
+        - set(_CONTROLLER_ONLY)
+    owner: dict[str, str] = {f"reset_{r}": r
+                             for r in set(resource_of.values())}
+    for action in actions:
+        if action.startswith(_START):
+            owner[action] = resource_of.get(action[len(_START):], "?")
+    classes: dict[str, set[str]] = {}
+    for action in actions:
+        key = owner.get(action)
+        classes.setdefault(key if key is not None else action,
+                           set()).add(action)
+    return [(label, frozenset(members))
+            for label, members in sorted(classes.items())]
+
+
+def _verify_exhaustive(stg: Stg, controller: SystemController, graph,
+                       max_states: int, activations: int,
+                       environments: int, max_cycles: int
+                       ) -> CompositionCheck:
+    """Bisimulation tier; raises AutomataError when the product is too big."""
+    product = controller_product_automaton(controller, max_states)
+    reference = stg_step_automaton(stg, max_states)
+    classes = _observable_classes(reference, product,
+                                  _node_resources(controller))
+    mismatches: list[str] = []
+    for label, observable in classes:
+        result = weak_bisimilar(reference, product, observable=observable)
+        if not result.bisimilar:
+            mismatches.append(
+                f"projection {label!r}: STG and controller composition "
+                f"are not weakly bisimilar ({result.explain()})")
+
+    # completion: restart is admissible exactly at completed
+    # configurations, so a reachable restart edge *is* the proof that
+    # the activation can finish.  A one-sided deadlock already fails
+    # the projections (the ?restart letter is visible on one side
+    # only); this catches the *mirrored* deadlock bisimulation is
+    # blind to.
+    for automaton, what in ((reference, "STG"),
+                            (product, "controller composition")):
+        if not _has_restart_edge(automaton):
+            mismatches.append(
+                f"{what} never completes an activation under any "
+                f"admissible environment (no restart-admissible "
+                f"configuration reached)")
+
+    # bisimulation proves controller ≡ STG, not STG ≡ schedule: a
+    # broken STG faithfully mirrored by its controller would still
+    # pass, so the task-graph dependency order of the STG's own traces
+    # is sanity-checked separately (the controller side is then covered
+    # transitively by the bisimulation verdict)
+    if graph is not None:
+        for environment in range(environments):
+            stg_done, stg_traces = _run_stg(stg, environment, max_cycles,
+                                            activations)
+            if not stg_done:
+                mismatches.append(
+                    f"env {environment}: STG never reached its global "
+                    f"DONE state (activation {len(stg_traces) - 1}, "
+                    f"schedule sanity)")
+            for index, actions in enumerate(stg_traces):
+                for src, dst in _dependency_violations(actions,
+                                                       graph.edges):
+                    mismatches.append(
+                        f"env {environment} activation {index}: STG "
+                        f"trace starts {dst!r} before its producer "
+                        f"{src!r} (schedule sanity)")
+
+    symbols = reference.symbols
+    starts = sum(1 for t in reference.transitions
+                 for a in symbols.names_of(t.actions)
+                 if a.startswith(_START))
+    actions_total = sum(len(t.actions) for t in reference.transitions)
+    return CompositionCheck(
+        equivalent=not mismatches,
+        tier="bisimulation",
+        environments=0,
+        activations=activations,
+        starts_checked=starts,
+        actions_checked=actions_total,
+        composite_configurations=len(product),
+        product_states=len(product),
+        reference_states=len(reference),
+        projections_checked=len(classes),
+        mismatches=tuple(mismatches))
+
+
+# ----------------------------------------------------------------------
+# tier 2: deterministic-environment sampling with streamed activations
+# ----------------------------------------------------------------------
 def _latency_of(environment: int, node: str) -> int:
     """Deterministic unit latency for (environment, node).
 
@@ -77,51 +364,68 @@ def _latency_of(environment: int, node: str) -> int:
     return rng.randint(1, 1 + 2 * environment)
 
 
-def _drive(step, done, stalled, environment: int,
-           max_cycles: int) -> tuple[bool, list[str]]:
+def _drive(step, done, stalled, restart, environment: int,
+           max_cycles: int, activations: int
+           ) -> tuple[bool, list[list[str]]]:
     """One closed-loop environment driver for both sides of the check.
 
     Per cycle: deliver the done pulses that fell due, call ``step`` with
     them, schedule a latency countdown for every ``start_*`` it emits.
     ``stalled(busy)`` decides when a quiet system counts as deadlocked
     (the STG executor stalls immediately, the cycle-stepped harness is
-    allowed a few idle hand-off cycles).  Sharing this loop guarantees
+    allowed a few idle hand-off cycles).  After each completed
+    activation, ``restart()`` re-arms the system for the next block --
+    the streaming path of :meth:`repro.sim.CoSimulation.run_stream` --
+    and anything it emits *during the restart cycle* is credited to the
+    next activation's trace (a correct composition emits nothing
+    there, so a spurious command on the restart edge must not fall
+    into a blind spot between traces).  Sharing this loop guarantees
     the STG and the controller composition are judged under *identical*
-    environments.
+    environments; returns one action list per activation.
     """
-    pending: dict[str, int] = {}
-    actions: list[str] = []
-    for _ in range(max_cycles):
-        due = {node for node, left in pending.items() if left <= 0}
-        for node in due:
-            del pending[node]
-        emitted = step({_DONE + node for node in due})
-        actions.extend(emitted)
-        for action in emitted:
-            if action.startswith(_START):
-                node = action[len(_START):]
-                pending[node] = _latency_of(environment, node)
-        if done():
-            return True, actions
-        if stalled(bool(emitted or pending or due)):
-            return False, actions
-        for node in pending:
-            pending[node] -= 1
-    return done(), actions
+    traces: list[list[str]] = []
+    for activation in range(activations):
+        carried = restart() if activation else None
+        pending: dict[str, int] = {}
+        actions: list[str] = list(carried or ())
+        traces.append(actions)
+        completed = False
+        for _ in range(max_cycles):
+            due = {node for node, left in pending.items() if left <= 0}
+            for node in due:
+                del pending[node]
+            emitted = step({_DONE + node for node in due})
+            actions.extend(emitted)
+            for action in emitted:
+                if action.startswith(_START):
+                    node = action[len(_START):]
+                    pending[node] = _latency_of(environment, node)
+            if done():
+                completed = True
+                break
+            if stalled(bool(emitted or pending or due)):
+                return False, traces
+            for node in pending:
+                pending[node] -= 1
+        if not completed and not done():
+            return False, traces
+    return True, traces
 
 
-def _run_stg(stg: Stg, environment: int,
-             max_steps: int) -> tuple[bool, list[str]]:
-    """Closed-loop STG execution; returns (completed, flat actions)."""
+def _run_stg(stg: Stg, environment: int, max_steps: int,
+             activations: int) -> tuple[bool, list[list[str]]]:
+    """Closed-loop STG execution; one flat action list per activation."""
     executor = StgExecutor(stg)
     return _drive(executor.step, lambda: executor.done,
-                  lambda busy: not busy, environment, max_steps)
+                  lambda busy: not busy, executor.reset,
+                  environment, max_steps, activations)
 
 
 def _run_controller(controller: SystemController, environment: int,
-                    max_cycles: int) -> tuple[bool, list[str], int]:
-    """Closed-loop harness execution; returns (completed, actions,
-    distinct composite configurations visited)."""
+                    max_cycles: int, activations: int
+                    ) -> tuple[bool, list[list[str]], int]:
+    """Closed-loop harness execution; returns (completed, per-activation
+    actions, distinct composite configurations visited)."""
     harness = ControllerHarness(controller)
     configurations = {harness.configuration()}
     idle_cycles = 0
@@ -136,9 +440,17 @@ def _run_controller(controller: SystemController, environment: int,
         idle_cycles = 0 if busy else idle_cycles + 1
         return idle_cycles > 2
 
-    completed, actions = _drive(step, lambda: harness.system_done,
-                                stalled, environment, max_cycles)
-    return completed, actions, len(configurations)
+    def restart():
+        nonlocal idle_cycles
+        idle_cycles = 0
+        emitted = harness.cycle(external={_RESTART})
+        configurations.add(harness.configuration())
+        return emitted
+
+    completed, traces = _drive(step, lambda: harness.system_done,
+                               stalled, restart, environment, max_cycles,
+                               activations)
+    return completed, traces, len(configurations)
 
 
 def _starts_by_resource(actions: list[str],
@@ -162,14 +474,53 @@ def _node_resources(controller: SystemController) -> dict[str, str]:
     return resource_of
 
 
-def verify_composition(stg: Stg, controller: SystemController,
-                       graph=None, environments: int = 3,
-                       max_cycles: int = 100_000) -> CompositionCheck:
-    """Check the communicating-controller composition against ``stg``.
+def _dependency_violations(actions: list[str],
+                           edges) -> list[tuple[str, str]]:
+    """Data-dependency violations in one activation's action trace.
 
-    ``graph`` (a :class:`~repro.graph.taskgraph.TaskGraph`) additionally
-    enables the data-dependency order check on both traces.
+    Every node is anchored on the *first* ``start_*`` it gets in this
+    activation: a dict-overwrite anchor would keep the last start and
+    misjudge traces where a node starts more than once (the replayed
+    starts of a streamed run, or a double-start bug).  Returns the
+    ``(producer, consumer)`` pairs where the consumer started without,
+    or before, its producer.
     """
+    starts = [a[len(_START):] for a in actions if a.startswith(_START)]
+    position: dict[str, int] = {}
+    for rank, node in enumerate(starts):
+        position.setdefault(node, rank)
+    violations: list[tuple[str, str]] = []
+    for edge in edges:
+        dst_pos = position.get(edge.dst)
+        if dst_pos is None:
+            continue  # consumer never ran: caught by the
+            # multiset/start-sequence comparison
+        src_pos = position.get(edge.src)
+        if src_pos is None or src_pos >= dst_pos:
+            violations.append((edge.src, edge.dst))
+    return violations
+
+
+def _multiset_diff(reference: list[str], candidate: list[str]) -> str:
+    """Signed count deltas between two action multisets.
+
+    A plain set symmetric difference hides the case of equal action
+    *sets* with different multiplicities (e.g. a double start), so the
+    diff is taken on :class:`collections.Counter` views and reported
+    with counts.
+    """
+    delta = Counter(candidate)
+    delta.subtract(Counter(reference))
+    surplus = {action: count for action, count in sorted(delta.items())
+               if count > 0}
+    missing = {action: -count for action, count in sorted(delta.items())
+               if count < 0}
+    return f"controller surplus {surplus}, controller missing {missing}"
+
+
+def _verify_sampled(stg: Stg, controller: SystemController, graph,
+                    environments: int, max_cycles: int, activations: int,
+                    fallback_reason: str | None) -> CompositionCheck:
     resource_of = _node_resources(controller)
     mismatches: list[str] = []
     starts_checked = 0
@@ -177,58 +528,101 @@ def verify_composition(stg: Stg, controller: SystemController,
     configurations = 0
 
     for environment in range(environments):
-        stg_done, stg_actions = _run_stg(stg, environment, max_cycles)
-        ctl_done, ctl_actions, n_configs = _run_controller(
-            controller, environment, max_cycles)
+        stg_done, stg_traces = _run_stg(stg, environment, max_cycles,
+                                        activations)
+        ctl_done, ctl_traces, n_configs = _run_controller(
+            controller, environment, max_cycles, activations)
         configurations = max(configurations, n_configs)
 
         if not stg_done:
             mismatches.append(f"env {environment}: STG never reached its "
-                              f"global DONE state")
+                              f"global DONE state "
+                              f"(activation {len(stg_traces) - 1})")
         if not ctl_done:
             mismatches.append(f"env {environment}: controller composition "
-                              f"never reached phase 'done'")
+                              f"never reached phase 'done' "
+                              f"(activation {len(ctl_traces) - 1})")
         if not (stg_done and ctl_done):
             continue
 
-        stg_starts = _starts_by_resource(stg_actions, resource_of)
-        ctl_starts = _starts_by_resource(ctl_actions, resource_of)
-        if stg_starts != ctl_starts:
-            mismatches.append(
-                f"env {environment}: per-resource start sequences differ: "
-                f"STG {stg_starts} vs controllers {ctl_starts}")
-        starts_checked += sum(len(v) for v in stg_starts.values())
+        for index, (stg_actions, ctl_actions) in enumerate(
+                zip(stg_traces, ctl_traces)):
+            where = f"env {environment} activation {index}"
+            stg_starts = _starts_by_resource(stg_actions, resource_of)
+            ctl_starts = _starts_by_resource(ctl_actions, resource_of)
+            if stg_starts != ctl_starts:
+                mismatches.append(
+                    f"{where}: per-resource start sequences differ: "
+                    f"STG {stg_starts} vs controllers {ctl_starts}")
+            starts_checked += sum(len(v) for v in stg_starts.values())
 
-        comparable = [a for a in ctl_actions if a not in _CONTROLLER_ONLY]
-        if sorted(comparable) != sorted(stg_actions):
-            extra = sorted(set(comparable) ^ set(stg_actions))
-            mismatches.append(
-                f"env {environment}: action multisets differ "
-                f"(symmetric difference {extra})")
-        actions_checked += len(stg_actions)
+            comparable = [a for a in ctl_actions
+                          if a not in _CONTROLLER_ONLY]
+            if Counter(comparable) != Counter(stg_actions):
+                mismatches.append(
+                    f"{where}: action multisets differ "
+                    f"({_multiset_diff(stg_actions, comparable)})")
+            actions_checked += len(stg_actions)
 
-        if graph is not None:
-            for label, actions in (("STG", stg_actions),
-                                   ("controllers", ctl_actions)):
-                starts = [a[len(_START):] for a in actions
-                          if a.startswith(_START)]
-                position = {node: i for i, node in enumerate(starts)}
-                for edge in graph.edges:
-                    dst_pos = position.get(edge.dst)
-                    if dst_pos is None:
-                        continue  # consumer never ran: caught by the
-                        # multiset/start-sequence comparison above
-                    src_pos = position.get(edge.src)
-                    if src_pos is None or src_pos >= dst_pos:
+            if graph is not None:
+                for label, actions in (("STG", stg_actions),
+                                       ("controllers", ctl_actions)):
+                    for src, dst in _dependency_violations(actions,
+                                                           graph.edges):
                         mismatches.append(
-                            f"env {environment}: {label} trace starts "
-                            f"{edge.dst!r} before its producer "
-                            f"{edge.src!r}")
+                            f"{where}: {label} trace starts {dst!r} "
+                            f"before its producer {src!r}")
 
     return CompositionCheck(
         equivalent=not mismatches,
+        tier="sampled",
         environments=environments,
+        activations=activations,
         starts_checked=starts_checked,
         actions_checked=actions_checked,
         composite_configurations=configurations,
+        fallback_reason=fallback_reason,
         mismatches=tuple(mismatches))
+
+
+# ----------------------------------------------------------------------
+def verify_composition(stg: Stg, controller: SystemController,
+                       graph=None, environments: int = 3,
+                       max_cycles: int = 100_000,
+                       activations: int = 2,
+                       max_states: int = DEFAULT_MAX_PRODUCT_STATES,
+                       strategy: str = "auto") -> CompositionCheck:
+    """Check the communicating-controller composition against ``stg``.
+
+    ``strategy`` selects the tier: ``"auto"`` (default) attempts the
+    exhaustive bisimulation tier and falls back to environment sampling
+    when the reachable product exceeds ``max_states`` (the fallback
+    reason is recorded on the check); ``"exhaustive"`` demands the
+    bisimulation tier (raising :class:`~repro.automata.AutomataError`
+    when it does not fit); ``"sampled"`` forces the sampling tier.
+
+    ``activations`` streams that many back-to-back activations through
+    the restart path in the sampled tier (the bisimulation tier's
+    restart loop covers every stream length).  ``graph`` (a
+    :class:`~repro.graph.taskgraph.TaskGraph`) additionally enables the
+    data-dependency order check: on the sampled traces of both sides in
+    tier 2, and as an STG-vs-schedule sanity check in tier 1 (where the
+    controller side is covered transitively by the bisimulation
+    verdict; see the module docstring).
+    """
+    if strategy not in ("auto", "exhaustive", "sampled"):
+        raise ValueError(f"unknown verification strategy {strategy!r}")
+    if activations < 1:
+        raise ValueError("verification needs at least one activation")
+    fallback_reason: str | None = None
+    if strategy in ("auto", "exhaustive"):
+        try:
+            return _verify_exhaustive(stg, controller, graph, max_states,
+                                      activations, environments,
+                                      max_cycles)
+        except AutomataError as exc:
+            if strategy == "exhaustive":
+                raise
+            fallback_reason = str(exc)
+    return _verify_sampled(stg, controller, graph, environments,
+                           max_cycles, activations, fallback_reason)

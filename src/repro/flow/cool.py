@@ -50,7 +50,8 @@ from ..controllers.datapath_controller import (DatapathController,
 from ..controllers.io_controller import IoController, synthesize_io_controller
 from ..controllers.system_controller import (SystemController,
                                              synthesize_system_controller)
-from ..controllers.verify import CompositionCheck, verify_composition
+from ..controllers.verify import (DEFAULT_MAX_PRODUCT_STATES,
+                                  CompositionCheck, verify_composition)
 from ..graph.partition import Partition
 from ..graph.taskgraph import TaskGraph
 from ..graph.validate import check_graph
@@ -135,12 +136,19 @@ class FlowResult:
             cap = self.arch.fpga(resource).clb_capacity
             lines.append(f"hardware {resource}: {clbs}/{cap} CLBs")
         if self.composition_check is not None:
-            verdict = "equivalent" if self.composition_check.equivalent \
-                else "MISMATCH: " + "; ".join(
-                    self.composition_check.mismatches)
-            lines.append(
-                f"verified composition: controllers x STG {verdict} "
-                f"({self.composition_check.environments} environments)")
+            check = self.composition_check
+            verdict = "equivalent" if check.equivalent \
+                else "MISMATCH: " + "; ".join(check.mismatches)
+            if check.tier == "bisimulation":
+                evidence = (f"exhaustive bisimulation, "
+                            f"{check.product_states} product states, "
+                            f"{check.projections_checked} projections, "
+                            f"streamed restarts included")
+            else:
+                evidence = (f"sampled, {check.environments} environments "
+                            f"x {check.activations} activations")
+            lines.append(f"verified composition: controllers x STG "
+                         f"{verdict} ({evidence})")
         lines.append(f"generated: {len(self.vhdl_files)} VHDL files, "
                      f"{len(self.c_files)} C files, netlist with "
                      f"{len(self.netlist.components)} components / "
@@ -214,8 +222,10 @@ def _stage_controllers(ctx: FlowContext) -> dict[str, Any]:
 
 
 def _stage_verify(ctx: FlowContext) -> dict[str, Any]:
+    max_states, strategy = ctx.get("verify_options")
     check = verify_composition(ctx.get("stg"), ctx.get("controller"),
-                               graph=ctx.get("graph"))
+                               graph=ctx.get("graph"),
+                               max_states=max_states, strategy=strategy)
     return {"composition_check": check}
 
 
@@ -284,7 +294,7 @@ def build_flow_stages() -> list[Stage]:
               ("controller", "io_controller", "datapath_controllers",
                "arbiter"),
               _stage_controllers),
-        Stage("verify", ("stg", "controller", "graph"),
+        Stage("verify", ("stg", "controller", "graph", "verify_options"),
               ("composition_check",), _stage_verify),
         Stage("codegen",
               ("graph", "partition", "schedule", "plan", "controller",
@@ -354,15 +364,25 @@ class CoolFlow:
                  allow_direct_comm: bool = True,
                  design_time_model: DesignTimeModel | None = None,
                  stage_cache: StageCache | None = None,
-                 verify_composition: bool = True) -> None:
+                 verify_composition: bool = True,
+                 verify_max_states: int = DEFAULT_MAX_PRODUCT_STATES,
+                 verify_strategy: str = "auto") -> None:
         self.arch = arch
         self.partitioner = partitioner if partitioner is not None \
             else self.default_partitioner()
         self.reuse_memory = reuse_memory
         self.allow_direct_comm = allow_direct_comm
         #: Run the ``verify`` stage (product-of-controllers vs minimized
-        #: STG trace equivalence) as part of every flow.
+        #: STG equivalence) as part of every flow.
         self.verify_composition = verify_composition
+        #: Tier knobs forwarded to
+        #: :func:`repro.controllers.verify.verify_composition`:
+        #: largest reachable product the exhaustive bisimulation tier
+        #: attempts, and the strategy ("auto" | "exhaustive" |
+        #: "sampled").  Part of the verify stage's fingerprint, so
+        #: changing either re-runs exactly that stage.
+        self.verify_max_states = verify_max_states
+        self.verify_strategy = verify_strategy
         self.design_time_model = design_time_model if design_time_model \
             is not None else DesignTimeModel()
         #: Shared across ``run`` calls of this flow (and across flows
@@ -379,7 +399,9 @@ class CoolFlow:
         ctx = FlowContext(graph=graph, arch=self.arch, deadline=deadline,
                           partitioner=self.partitioner,
                           comm_options=(self.reuse_memory,
-                                        self.allow_direct_comm))
+                                        self.allow_direct_comm),
+                          verify_options=(self.verify_max_states,
+                                          self.verify_strategy))
 
         # HLS area feedback: partitioning works on the quick estimator;
         # if the *synthesized* datapath of a device overflows its CLB

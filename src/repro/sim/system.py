@@ -279,8 +279,16 @@ class CoSimulation:
 
         The first block must match the stimuli the simulation was
         constructed with; each subsequent block re-arms the controller
-        via :meth:`restart`.  Returns one :class:`SimResult` per block
-        (cycle counters are cumulative across the stream).
+        via :meth:`restart`.  Returns one :class:`SimResult` per block;
+        all counters (cycles, busy ticks, memory traffic, trace length)
+        are cumulative across the stream, so per-block figures are the
+        difference of consecutive results.  The restart path driven
+        here -- phase FSM done -> reset -> run, flag-register clear,
+        ``go`` re-arming -- is the same one
+        :func:`repro.controllers.verify.verify_composition` proves
+        equivalent to a fresh STG activation (the bisimulation tier's
+        restart loop), so streamed blocks compute exactly what cold
+        activations would.
         """
         results: list[SimResult] = []
         for index, block in enumerate(blocks):

@@ -3,11 +3,12 @@
 import pytest
 
 from repro.automata import (AutomataError, AutomatonBuilder,
-                            CompositionConfig, SequentialRunner,
-                            SymbolTable, SynchronousComposition,
-                            TokenExecutor, encode_names, internal_signals,
-                            minimize_automaton, refine_partition,
-                            synchronous_product)
+                            CompositionConfig, ProductEnvironment,
+                            SequentialRunner, SymbolTable,
+                            SynchronousComposition, TokenExecutor,
+                            encode_names, internal_signals,
+                            minimize_automaton, reachable_automaton,
+                            refine_partition, synchronous_product)
 
 
 def chain_automaton():
@@ -194,6 +195,49 @@ class TestTokenExecutor:
         with pytest.raises(AutomataError):
             TokenExecutor(b.build())
 
+    def test_snapshot_restore_round_trip(self):
+        a = self.fork_join()
+        ex = TokenExecutor(a, final=[a.index_of("D")])
+        sym = a.symbols
+        ex.step()
+        mid = ex.snapshot()
+        ex.step(sym.ids_of({"done_u", "done_v"}))
+        assert ex.done
+        ex.restore(mid)
+        assert not ex.done
+        assert ex.snapshot() == mid
+        assert ex.trace == [] and ex.step_count == 0  # diagnostics reset
+        # restored runs continue exactly where the snapshot was taken
+        ex.step(sym.ids_of({"done_u", "done_v"}))
+        assert ex.done
+
+    def test_snapshots_identify_configurations_not_histories(self):
+        a = self.fork_join()
+        ex = TokenExecutor(a, final=[a.index_of("D")])
+        sym = a.symbols
+        ex.step(sym.ids_of({"done_u"}))
+        ex.step(sym.ids_of({"done_v"}))
+        two_steps = ex.snapshot()
+        ex.reset()
+        ex.step(sym.ids_of({"done_u", "done_v"}))
+        assert ex.snapshot() == two_steps
+
+    def test_round_limited_stepping_exposes_intermediates(self):
+        b = AutomatonBuilder("cascade")
+        for s in ("R", "m", "D"):
+            b.add_state(s)
+        b.add_transition("R", "m", actions=("first",))
+        b.add_transition("m", "D", actions=("second",))
+        a = b.build(initial="R")
+        sym = a.symbols
+        full = TokenExecutor(a, final=[a.index_of("D")])
+        assert sym.names_of(full.step()) == ("first", "second")
+        limited = TokenExecutor(a, final=[a.index_of("D")])
+        assert sym.names_of(limited.step(max_rounds=1)) == ("first",)
+        assert not limited.done
+        assert sym.names_of(limited.step(max_rounds=1)) == ("second",)
+        assert limited.done
+
 
 class TestSequentialRunner:
     def test_priority_and_moore(self):
@@ -267,6 +311,113 @@ class TestSynchronousComposition:
         product = synchronous_product(ping_pong())
         reduced, refinement = minimize_automaton(product, ordered=True)
         assert len(reduced) == len(product) - refinement.merged
+
+    def test_product_explores_breadth_first(self):
+        # regression: exploration used a LIFO pop (depth-first) while
+        # the p<index>[...] labels promise breadth ordering; the label
+        # sequence is pinned so a traversal change cannot slip through
+        product = synchronous_product(ping_pong())
+        assert product.state_names == (
+            "p0[idle|wait]", "p1[sent|wait]", "p2[sent|got]",
+            "p3[sent|wait]", "p4[idle|got]")
+        again = synchronous_product(ping_pong())
+        assert again.state_names == product.state_names
+        assert again.fingerprint() == product.fingerprint()
+
+    def test_held_signals_are_not_latched(self):
+        b = AutomatonBuilder("hop")
+        b.add_state("s0")
+        b.add_state("s1")
+        b.add_state("s2")
+        b.add_transition("s0", "s1", conditions=("kick",))
+        b.add_transition("s1", "s2", conditions=("kick",))
+        letters = [frozenset(), frozenset({"kick"})]
+
+        def silent_successor(product, src):
+            sym = product.symbols
+            return next(product.name_of(t.dst) for t in product.out(src)
+                        if not sym.names_of(t.conditions))
+
+        latched = synchronous_product([b.build()], letters=letters)
+        # one kick pulse latches: the silent letter still advances s1
+        assert silent_successor(latched, 1) == "p2[s2]"
+        held = synchronous_product([b.build()], letters=letters,
+                                   held=("kick",))
+        # held for one cycle only: silence leaves s1 where it is
+        assert silent_successor(held, 1) == "p1[s1]"
+
+    def test_environment_policy_prunes_and_extends_states(self):
+        class OneShot(ProductEnvironment):
+            """'kick' admissible only until it was delivered once."""
+
+            def initial_state(self):
+                return True
+
+            def letters(self, env_state, config):
+                letters = [frozenset()]
+                if env_state:
+                    letters.append(frozenset({"kick"}))
+                return letters
+
+            def advance(self, env_state, letter, actions):
+                return env_state and "kick" not in letter
+
+        ping, pong = ping_pong()
+        open_product = synchronous_product((ping, pong))
+        constrained = synchronous_product((ping, pong),
+                                          environment=OneShot())
+        sym = constrained.symbols
+        kick = sym.id_of("kick")
+        kick_edges = [t for t in constrained.transitions
+                      if kick in t.conditions]
+        assert kick_edges  # admissible once...
+        # ...and never from a post-kick state: every kick edge leaves a
+        # state whose environment half still allows it
+        for t in kick_edges:
+            assert constrained.key_of(t.src)[1] is True
+        # the open product may pulse kick from every state; the
+        # environment prunes those replays away
+        open_kick = open_product.symbols.id_of("kick")
+        open_edges = [t for t in open_product.transitions
+                      if open_kick in t.conditions]
+        assert len(kick_edges) < len(open_edges)
+
+
+class TestReachableAutomaton:
+    def test_materializes_a_pure_stepper(self):
+        def step(config, letter):
+            if "inc" in letter:
+                nxt = (config + 1) % 3
+                return nxt, ("wrap",) if nxt == 0 else ()
+            return config, ()
+
+        automaton = reachable_automaton(
+            "mod3", 0, step, letters=[frozenset(), frozenset({"inc"})],
+            label_of=lambda config, index: f"n{config}")
+        assert automaton.state_names == ("n0", "n1", "n2")
+        sym = automaton.symbols
+        wraps = [t for t in automaton.transitions
+                 if sym.names_of(t.actions) == ("wrap",)]
+        assert len(wraps) == 1
+        assert automaton.name_of(wraps[0].src) == "n2"
+        assert automaton.name_of(wraps[0].dst) == "n0"
+
+    def test_state_bound_enforced(self):
+        with pytest.raises(AutomataError):
+            reachable_automaton(
+                "counter", 0, lambda c, letter: (c + 1, ()),
+                letters=[frozenset()], max_states=10)
+
+    def test_letters_and_environment_are_mutually_exclusive(self):
+        with pytest.raises(AutomataError, match="not both"):
+            reachable_automaton(
+                "ambiguous", 0, lambda c, letter: (c, ()),
+                letters=[frozenset({"go"})],
+                environment=ProductEnvironment())
+        with pytest.raises(AutomataError, match="not both"):
+            synchronous_product(ping_pong(),
+                                letters=[frozenset({"kick"})],
+                                environment=ProductEnvironment())
 
 
 class TestEncodings:

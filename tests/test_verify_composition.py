@@ -1,23 +1,30 @@
 """Tests for verified composition: product-of-controllers ≡ minimized STG.
 
-Covers the standalone checker on the bundled apps, the ``verify``
-pipeline stage (FlowResult exposure + fingerprint caching) and the
-detector's teeth: a tampered controller must be caught.
+Covers the tiered checker on the bundled apps (exhaustive bisimulation
+for small designs, environment sampling as recorded fallback), the
+``verify`` pipeline stage (FlowResult exposure + fingerprint caching +
+tier configuration) and the detector's teeth: a tampered controller
+must be caught by *both* tiers.
 """
+
+import types
 
 import pytest
 
 from repro.apps import dct_stage, four_band_equalizer, fuzzy_controller
+from repro.automata import AutomataError
 from repro.controllers import (Fsm, SystemController,
                                synthesize_system_controller,
                                verify_composition)
+from repro.controllers.verify import _dependency_violations, _multiset_diff
 from repro.estimate import CostModel
 from repro.flow import CoolFlow
 from repro.graph import from_mapping
 from repro.partition import GreedyPartitioner
 from repro.platform import cool_board, minimal_board
 from repro.schedule import list_schedule
-from repro.stg import build_stg, minimize_stg
+from repro.stg import (StateKind, Stg, StgState, StgTransition, build_stg,
+                       minimize_stg)
 
 
 def implementation(graph, arch, hw_nodes=()):
@@ -32,6 +39,32 @@ def implementation(graph, arch, hw_nodes=()):
     return graph, mini, synthesize_system_controller(mini)
 
 
+def tamper(controller):
+    """Drop the first ``start_*`` action of one sequencer."""
+    resource, sequencer = next((r, f)
+                               for r, f in controller.sequencers.items()
+                               if any(a.startswith("start_")
+                                      for a in f.outputs))
+    tampered = Fsm(sequencer.name)
+    for state in sequencer.states:
+        tampered.add_state(state,
+                           sequencer.state_outputs.get(state, ()))
+    tampered.initial = sequencer.initial
+    dropped = False
+    for t in sequencer.transitions:
+        actions = t.actions
+        if not dropped and any(a.startswith("start_") for a in actions):
+            actions = tuple(a for a in actions
+                            if not a.startswith("start_"))
+            dropped = True
+        tampered.add_transition(t.src, t.dst, t.conditions, actions)
+    assert dropped
+    return SystemController(
+        controller.name, controller.phase_fsm,
+        {**controller.sequencers, resource: tampered},
+        controller.done_flags)
+
+
 BUNDLED = [
     (four_band_equalizer(words=8), minimal_board(), ("band0", "gain0")),
     (fuzzy_controller(), cool_board(), ("fz_e", "defuzz")),
@@ -39,17 +72,40 @@ BUNDLED = [
 ]
 
 
-class TestVerifyComposition:
+class TestExhaustiveTier:
     @pytest.mark.parametrize("graph,arch,hw", BUNDLED,
                              ids=lambda value: getattr(value, "name", None))
-    def test_bundled_apps_equivalent(self, graph, arch, hw):
+    def test_bundled_apps_proved_bisimilar(self, graph, arch, hw):
         graph, mini, controller = implementation(graph, arch, hw)
         check = verify_composition(mini, controller, graph=graph)
         assert check.equivalent, check.mismatches
-        assert check.environments == 3
-        assert check.starts_checked >= check.environments * \
-            len(graph.nodes)
-        assert check.composite_configurations > len(controller.fsms)
+        assert check.tier == "bisimulation"
+        assert check.fallback_reason is None
+        # one projection per processing unit plus one per memory command
+        assert check.projections_checked > len(controller.sequencers)
+        assert check.product_states > len(controller.phase_fsm.states)
+        assert check.reference_states > len(controller.phase_fsm.states)
+        assert check.composite_configurations == check.product_states
+        assert check.starts_checked >= len(graph.nodes)
+
+    def test_restart_loop_is_part_of_the_product(self):
+        from repro.controllers.verify import (controller_product_automaton,
+                                              stg_step_automaton)
+        _, mini, controller = implementation(*BUNDLED[0])
+        for automaton in (controller_product_automaton(controller, 4000),
+                          stg_step_automaton(mini, 4000)):
+            restart = automaton.symbols.id_of("restart")
+            assert restart is not None, automaton.name
+            loops = [t for t in automaton.transitions
+                     if restart in t.conditions]
+            assert loops, f"{automaton.name} has no restart edge"
+
+    def test_tampered_controller_fails_bisimulation(self):
+        graph, mini, controller = implementation(*BUNDLED[0])
+        check = verify_composition(mini, tamper(controller), graph=graph)
+        assert check.tier == "bisimulation"
+        assert not check.equivalent
+        assert any("not weakly bisimilar" in m for m in check.mismatches)
 
     def test_unminimized_stg_also_equivalent(self):
         graph = four_band_equalizer(words=8)
@@ -62,35 +118,155 @@ class TestVerifyComposition:
                                  CostModel(graph, minimal_board()))
         stg = build_stg(schedule)
         controller = synthesize_system_controller(stg)
-        assert verify_composition(stg, controller, graph=graph).equivalent
+        check = verify_composition(stg, controller, graph=graph)
+        assert check.equivalent, check.mismatches
+        assert check.tier == "bisimulation"
+
+    def test_oversized_product_falls_back_with_reason(self):
+        graph, mini, controller = implementation(*BUNDLED[0])
+        check = verify_composition(mini, controller, graph=graph,
+                                   max_states=5)
+        assert check.tier == "sampled"
+        assert check.equivalent
+        assert "exceeds" in check.fallback_reason
+
+    def test_exhaustive_strategy_refuses_to_fall_back(self):
+        _, mini, controller = implementation(*BUNDLED[0])
+        with pytest.raises(AutomataError):
+            verify_composition(mini, controller, max_states=5,
+                               strategy="exhaustive")
+
+    def test_mirrored_deadlock_detected(self):
+        # an STG stuck behind an unsatisfiable guard, faithfully
+        # mirrored by its controller: every projection is bisimilar
+        # (both sides deadlock identically), so completion must be
+        # checked structurally -- no restart-admissible configuration
+        stg = Stg("deadlock")
+        stg.add_state(StgState("R", StateKind.GLOBAL_RESET))
+        stg.add_state(StgState("X", StateKind.GLOBAL_EXEC))
+        stg.add_state(StgState("D", StateKind.GLOBAL_DONE))
+        stg.add_state(StgState("r_sw", StateKind.RESET, resource="sw"))
+        stg.add_state(StgState("w_a", StateKind.WAIT, node="a",
+                               resource="sw"))
+        stg.add_state(StgState("x_a", StateKind.EXEC, node="a",
+                               resource="sw"))
+        stg.add_state(StgState("d_a", StateKind.DONE, node="a",
+                               resource="sw"))
+        stg.initial = "R"
+        stg.add_transition(StgTransition("R", "r_sw",
+                                         actions=("reset_sw",)))
+        stg.add_transition(StgTransition("r_sw", "X"))
+        stg.add_transition(StgTransition("X", "w_a"))
+        # 'ghost' never starts, so done_ghost is never admissible
+        stg.add_transition(StgTransition("w_a", "x_a",
+                                         conditions=("done_ghost",),
+                                         actions=("start_a",)))
+        stg.add_transition(StgTransition("x_a", "d_a",
+                                         conditions=("done_a",)))
+        stg.add_transition(StgTransition("d_a", "D"))
+        controller = synthesize_system_controller(stg)
+        check = verify_composition(stg, controller)
+        assert check.tier == "bisimulation"
+        assert not check.equivalent
+        assert sum("never completes an activation" in m
+                   for m in check.mismatches) == 2
+
+    def test_schedule_sanity_catches_a_mirrored_dependency_bug(self):
+        # bisimulation alone cannot see a schedule bug both sides
+        # mirror faithfully: with a (fabricated) reversed dependency
+        # the STG's own trace must fail the task-graph sanity check
+        # even though controllers ≡ STG holds
+        graph, mini, controller = implementation(*BUNDLED[0])
+        reversed_edge = types.SimpleNamespace(
+            edges=[types.SimpleNamespace(src="gain0", dst="band0")])
+        check = verify_composition(mini, controller, graph=reversed_edge)
+        assert check.tier == "bisimulation"
+        assert not check.equivalent
+        assert any("schedule sanity" in m for m in check.mismatches)
+
+    def test_bad_arguments_rejected(self):
+        _, mini, controller = implementation(*BUNDLED[0])
+        with pytest.raises(ValueError):
+            verify_composition(mini, controller, strategy="guess")
+        with pytest.raises(ValueError):
+            verify_composition(mini, controller, activations=0)
+
+
+class TestSampledTier:
+    def test_streams_activations_through_restart(self):
+        graph, mini, controller = implementation(*BUNDLED[0])
+        check = verify_composition(mini, controller, graph=graph,
+                                   strategy="sampled", activations=3)
+        assert check.equivalent, check.mismatches
+        assert check.tier == "sampled"
+        assert check.environments == 3
+        assert check.activations == 3
+        # every activation of every environment checks every start
+        assert check.starts_checked >= 3 * 3 * len(graph.nodes)
+        assert check.fallback_reason is None
 
     def test_tampered_controller_detected(self):
         graph, mini, controller = implementation(*BUNDLED[0])
-        resource, sequencer = next((r, f)
-                                   for r, f in controller.sequencers.items()
-                                   if any(a.startswith("start_")
-                                          for a in f.outputs))
-        tampered = Fsm(sequencer.name)
-        for state in sequencer.states:
-            tampered.add_state(state,
-                               sequencer.state_outputs.get(state, ()))
-        tampered.initial = sequencer.initial
-        dropped = False
-        for t in sequencer.transitions:
-            actions = t.actions
-            if not dropped and any(a.startswith("start_") for a in actions):
-                actions = tuple(a for a in actions
-                                if not a.startswith("start_"))
-                dropped = True
-            tampered.add_transition(t.src, t.dst, t.conditions, actions)
-        assert dropped
-        broken = SystemController(
-            controller.name, controller.phase_fsm,
-            {**controller.sequencers, resource: tampered},
-            controller.done_flags)
-        check = verify_composition(mini, broken, graph=graph)
+        check = verify_composition(mini, tamper(controller), graph=graph,
+                                   strategy="sampled")
         assert not check.equivalent
         assert check.mismatches
+
+    def test_restart_cycle_emissions_are_not_a_blind_spot(self):
+        # a command emitted during the restart cycle itself must land
+        # in the next activation's trace, not vanish between traces
+        graph, mini, controller = implementation(*BUNDLED[0])
+        phase = controller.phase_fsm
+        noisy = Fsm(phase.name)
+        for state in phase.states:
+            noisy.add_state(state, phase.state_outputs.get(state, ()))
+        noisy.initial = phase.initial
+        for t in phase.transitions:
+            actions = t.actions
+            if "restart" in t.conditions:
+                actions = actions + ("write_spurious",)
+            noisy.add_transition(t.src, t.dst, t.conditions, actions)
+        broken = SystemController(controller.name, noisy,
+                                  controller.sequencers,
+                                  controller.done_flags)
+        check = verify_composition(mini, broken, graph=graph,
+                                   strategy="sampled")
+        assert not check.equivalent
+        assert any("write_spurious" in m for m in check.mismatches)
+
+    def test_summary_round_trips_tier_fields(self):
+        graph, mini, controller = implementation(*BUNDLED[0])
+        summary = verify_composition(mini, controller, graph=graph,
+                                     strategy="sampled").summary()
+        assert summary["tier"] == "sampled"
+        assert summary["activations"] == 2
+        assert summary["fallback_reason"] is None
+
+
+class TestTraceCheckHelpers:
+    def test_multiset_diff_sees_multiplicities(self):
+        # equal action *sets*, different multiplicities: the old set
+        # symmetric difference reported nothing here
+        reference = ["start_a", "start_a", "write_e"]
+        candidate = ["start_a", "write_e", "write_e"]
+        message = _multiset_diff(reference, candidate)
+        assert "'write_e': 1" in message
+        assert "'start_a': 1" in message
+        assert "surplus" in message and "missing" in message
+
+    def test_dependency_anchor_is_first_occurrence(self):
+        edges = [types.SimpleNamespace(src="a", dst="b")]
+        # replayed start of 'b': the *first* one ran before its
+        # producer -- a last-occurrence anchor would miss it
+        actions = ["start_b", "start_a", "start_b"]
+        assert _dependency_violations(actions, edges) == [("a", "b")]
+        assert _dependency_violations(
+            ["start_a", "start_b", "start_b"], edges) == []
+
+    def test_dependency_missing_producer_flagged(self):
+        edges = [types.SimpleNamespace(src="a", dst="b")]
+        assert _dependency_violations(["start_b"], edges) == [("a", "b")]
+        assert _dependency_violations([], edges) == []
 
 
 class TestVerifyFlowStage:
@@ -104,12 +280,14 @@ class TestVerifyFlowStage:
         _, _, result = flow_and_result
         assert result.composition_check is not None
         assert result.composition_check.equivalent
+        assert result.composition_check.tier == "bisimulation"
         assert result.stage_runs.get("verify") == 1
         assert "verify" in result.stage_seconds
 
     def test_report_mentions_verification(self, flow_and_result):
         _, _, result = flow_and_result
         assert "verified composition" in result.report()
+        assert "exhaustive bisimulation" in result.report()
 
     def test_stage_is_fingerprint_cached(self, flow_and_result):
         flow, graph, _ = flow_and_result
@@ -117,6 +295,20 @@ class TestVerifyFlowStage:
         assert warm.composition_check is not None
         assert warm.composition_check.equivalent
         assert warm.stage_runs.get("verify", 0) == 0
+
+    def test_tier_options_are_part_of_the_stage_key(self, flow_and_result):
+        flow, graph, _ = flow_and_result
+        sampled_flow = CoolFlow(minimal_board(),
+                                partitioner=GreedyPartitioner(),
+                                stage_cache=flow.stage_cache,
+                                verify_strategy="sampled")
+        result = sampled_flow.run(graph)
+        # same upstream artifacts, different verify options: only the
+        # verify stage re-runs and the sampled tier produces the verdict
+        assert result.stage_runs.get("verify") == 1
+        assert result.stage_runs.get("controllers", 0) == 0
+        assert result.composition_check.tier == "sampled"
+        assert "sampled" in result.report()
 
     def test_opt_out(self):
         graph = four_band_equalizer(words=8)
