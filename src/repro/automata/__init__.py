@@ -14,6 +14,8 @@ from .minimize import (PartitionRefinement, minimize_automaton, quotient,
 from .product import (CompositionConfig, ProductEnvironment,
                       SynchronousComposition, internal_signals,
                       reachable_automaton, synchronous_product)
+from .simplify import (SimplifyReport, simplify_automaton_guards,
+                       state_care_node)
 
 __all__ = [
     "AutomataError", "Automaton", "AutomatonBuilder", "SymbolTable",
@@ -23,4 +25,5 @@ __all__ = [
     "BisimResult", "distinguishing_trace", "weak_bisimilar",
     "CompositionConfig", "ProductEnvironment", "SynchronousComposition",
     "internal_signals", "reachable_automaton", "synchronous_product",
+    "SimplifyReport", "simplify_automaton_guards", "state_care_node",
 ]

@@ -20,7 +20,15 @@ This module provides that comparison as a kernel operation:
    internal (τ) move.  Timing skew between the two systems -- the
    controller spreads over clock cycles what the STG fires in one
    burst -- therefore turns into τ-moves, which is exactly what weak
-   equivalence abstracts.
+   equivalence abstracts.  The name-rendered transition rows are
+   computed once per automaton and cached (projections only re-filter
+   the action labels), parallel BDD-guarded edges are fused by guard
+   disjunction -- an edge whose guard *implies* a parallel edge's guard
+   is skipped before saturation ever sees it -- and deterministic
+   τ-chains are compressed away (:func:`_compress_tau_chains`): a state
+   whose only move is a single τ-edge is weakly bisimilar to its
+   target, so whole silent walks collapse to their endpoint before the
+   quadratic-ish saturation runs.
 2. **Weak saturation** -- the τ-closure of every state is computed and
    the weak transition relation ``s ⇒ℓ t  iff  s →τ* →ℓ →τ* t`` (plus
    the reflexive-transitive ``⇒τ``) is materialized.  By Milner's
@@ -106,31 +114,209 @@ class _Lts:
         return len(self.adjacency)
 
 
+def _canonical_guard_label(guard, name_of) -> str:
+    """A label that depends only on the guard's *function* and names.
+
+    Stored covers are not canonical (a redundant cube changes the text
+    but not the function) and neither are per-engine covers (interning
+    order steers the ISOP variable branching), so the guard is rebuilt
+    cube-by-cube in a fresh engine whose variable order is the *name*
+    order of the mentioned signals.  The reduced BDD prunes cancelled
+    variables, so the node -- and the deterministic ``minimal_cover``
+    over it -- depends only on the function and the names: two
+    semantically equal guards label identically across automata,
+    whatever their stored covers or interning orders.  Cost is linear
+    in the cover, not exponential in the support.
+    """
+    from ..symbolic import BddEngine, minimal_cover, render_cover
+
+    from ..symbolic import plain_cube
+
+    mentioned = sorted({variable for cube in guard.cover
+                        for variable, _ in cube}, key=name_of)
+    names = [name_of(variable) for variable in mentioned]
+    remap = {variable: index for index, variable in enumerate(mentioned)}
+    engine = BddEngine()
+    onset = engine.disj(
+        engine.cube(tuple((remap[variable], positive)
+                          for variable, positive in cube))
+        for cube in guard.cover)
+    cover = minimal_cover(engine, onset)
+    plain = plain_cube(cover)
+    if plain is not None:
+        # a guard that denotes a plain positive conjunction must label
+        # exactly like a plain-conditions transition would (a tautology
+        # guard returns "" -- no input observation, like conditions=())
+        return "+".join(names[index] for index in plain)
+    return render_cover(cover, lambda index: names[index])
+
+
+def _observation_rows(automaton: Automaton) -> list[tuple]:
+    """Name-rendered transition rows, computed once per automaton.
+
+    Each row is ``(src, dst, letter label | None, action names, guard |
+    None)``.  The rows are projection-independent (input letters are
+    always visible, hiding only filters the action names), so they are
+    cached on the automaton and shared by every per-class projection of
+    the composition verifier.
+    """
+    rows = automaton._obs_summary
+    if rows is None:
+        symbols = automaton.symbols
+        rows = []
+        for t in automaton.transitions:
+            if t.guard is not None:
+                label = _canonical_guard_label(t.guard, symbols.name_of)
+                letter = INPUT_PREFIX + label if label else None
+            else:
+                names = symbols.names_of(t.conditions)
+                letter = INPUT_PREFIX + "+".join(names) if names else None
+            rows.append((t.src, t.dst, letter,
+                         symbols.names_of(t.actions), t.guard))
+        automaton._obs_summary = rows
+    return rows
+
+
+def _merge_guarded_rows(rows: list[tuple], name_of,
+                        observable: frozenset[str] | None) -> list[tuple]:
+    """Fuse parallel guard-backed edges; skip implication-subsumed ones.
+
+    Two guard-backed transitions with the same endpoints and the same
+    *visible* actions denote one observation -- "an input satisfying
+    the guard" -- so their guards merge by disjunction, and a guard
+    that implies a parallel guard is dropped outright (the implication
+    check runs before the τ-saturation ever sees the edge).  Plain
+    transitions pass through untouched: distinct positive letters are
+    distinct observations.
+    """
+    from ..symbolic import minimal_cover
+    from ..symbolic.guards import Guard
+
+    merged: list[tuple] = []
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows:
+        src, dst, letter, actions, guard = row
+        if guard is None:
+            merged.append(row)
+            continue
+        visible = actions if observable is None else \
+            tuple(a for a in actions if a in observable)
+        groups.setdefault((src, dst, visible), []).append(row)
+    for (src, dst, visible), members in sorted(groups.items()):
+        if len(members) == 1:
+            merged.append(members[0])
+            continue
+        maximal: list = []
+        for guard in (row[4] for row in members):
+            if any(guard.implies(other) for other in maximal):
+                continue  # subsumed edge: skipped before saturation
+            maximal = [other for other in maximal
+                       if not other.implies(guard)]
+            maximal.append(guard)
+        engine = maximal[0].engine
+        node = engine.disj(guard.node for guard in maximal)
+        union = Guard(engine, node, minimal_cover(engine, node))
+        label = _canonical_guard_label(union, name_of)
+        merged.append((src, dst,
+                       INPUT_PREFIX + label if label else None,
+                       members[0][3], union))
+    return merged
+
+
 def _normalized_lts(automaton: Automaton,
-                    observable: frozenset[str] | None) -> _Lts:
-    """Unroll a step automaton into the single-label observation LTS."""
-    symbols = automaton.symbols
+                    observable: frozenset[str] | None,
+                    compress: bool = True) -> _Lts:
+    """Unroll a step automaton into the single-label observation LTS.
+
+    Deterministic τ-chains are compressed before the caller saturates
+    (see :func:`_compress_tau_chains`); pass ``compress=False`` to get
+    the raw unrolled system.
+    """
+    rows = _observation_rows(automaton)
+    if any(row[4] is not None for row in rows):
+        rows = _merge_guarded_rows(rows, automaton.symbols.name_of,
+                                   observable)
     adjacency: list[list[tuple[str | None, int]]] = \
         [[] for _ in range(len(automaton))]
-    for transition in automaton.transitions:
+    for src, dst, letter, actions, _guard in rows:
         labels: list[str] = []
-        letter = symbols.names_of(transition.conditions)
-        if letter:
-            labels.append(INPUT_PREFIX + "+".join(letter))
-        for action in symbols.names_of(transition.actions):
+        if letter is not None:
+            labels.append(letter)
+        for action in actions:
             if observable is None or action in observable:
                 labels.append(OUTPUT_PREFIX + action)
         if not labels:
-            adjacency[transition.src].append((None, transition.dst))
+            adjacency[src].append((None, dst))
             continue
-        current = transition.src
+        current = src
         for label in labels[:-1]:
             adjacency.append([])
             intermediate = len(adjacency) - 1
             adjacency[current].append((label, intermediate))
             current = intermediate
-        adjacency[current].append((labels[-1], transition.dst))
-    return _Lts(adjacency, automaton.initial or 0)
+        adjacency[current].append((labels[-1], dst))
+    lts = _Lts(adjacency, automaton.initial or 0)
+    return _compress_tau_chains(lts) if compress else lts
+
+
+def _compress_tau_chains(lts: _Lts) -> _Lts:
+    """Collapse deterministic τ-chains before saturation.
+
+    A state whose only move (ignoring a τ self-loop) is a single τ-edge
+    is weakly bisimilar to that edge's target: everything it can ever
+    do is the target's behaviour behind one internal move, and weak
+    equivalence ignores internal moves and divergence alike.  Every
+    such state is redirected to the terminal of its chain (τ-cycles
+    collapse onto their first-visited member) and dropped from the
+    system, which shrinks the τ-closure/saturation work on the long
+    silent walks cycle-accurate products produce.
+    """
+    adjacency = lts.adjacency
+    n = len(adjacency)
+    chain_next: list[int | None] = [None] * n
+    chains = 0
+    for state, edges in enumerate(adjacency):
+        real = [(label, dst) for label, dst in edges
+                if not (label is None and dst == state)]
+        if len(real) == 1 and real[0][0] is None:
+            chain_next[state] = real[0][1]
+            chains += 1
+    # rebuilding the LTS is only worth it when chains make up a real
+    # fraction of the system; scattered singletons cost more to strip
+    # than their closures cost to saturate
+    if chains * 16 < n:
+        return lts
+    terminal: list[int | None] = [None] * n
+    for state in range(n):
+        if terminal[state] is not None:
+            continue
+        path: list[int] = []
+        on_path: set[int] = set()
+        current = state
+        while True:
+            if terminal[current] is not None:
+                end = terminal[current]
+                break
+            if chain_next[current] is None:
+                end = current
+                break
+            if current in on_path:
+                end = current  # pure τ-cycle: first revisited member
+                break
+            on_path.add(current)
+            path.append(current)
+            current = chain_next[current]
+        for member in path:
+            terminal[member] = end
+        if terminal[current] is None:
+            terminal[current] = end
+    keep = sorted({terminal[state] for state in range(n)})
+    remap = {old: new for new, old in enumerate(keep)}
+    compact: list[list[tuple[str | None, int]]] = []
+    for old in keep:
+        compact.append([(label, remap[terminal[dst]])
+                        for label, dst in adjacency[old]])
+    return _Lts(compact, remap[terminal[lts.initial]])
 
 
 def _tau_closures(lts: _Lts) -> list[frozenset[int]]:
@@ -210,6 +396,9 @@ class _SaturatedUnion:
 
     def outputs_of(self, state: int):
         return ()
+
+    def has_guards(self) -> bool:
+        return False
 
 
 def weak_bisimilar(left: Automaton, right: Automaton,

@@ -124,6 +124,18 @@ class SynchronousComposition:
         states, _, _, _ = configuration
         return states
 
+    @staticmethod
+    def configuration_parts(configuration: tuple
+                            ) -> tuple[tuple[int, ...], frozenset,
+                                       frozenset, tuple]:
+        """The full ``(states, flags, internal, consumed)`` layout of a
+        :meth:`configuration` key (same contract as
+        :meth:`component_states`: consumers must not unpack the tuple
+        themselves).  Used by the guard don't-care harvester to replay
+        what each component could see in a reachable configuration."""
+        states, flags, internal, consumed = configuration
+        return states, flags, internal, consumed
+
     # ------------------------------------------------------------------
     def cycle(self, pulses: Iterable[str] | None = None,
               held: Iterable[str] | None = None) -> list[str]:

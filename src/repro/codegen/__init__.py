@@ -1,12 +1,15 @@
 """Code generation: VHDL, C, board netlists, and structural checking."""
 
-from .vhdl import HEADER, datapath_to_vhdl, fsm_to_vhdl
+from .vhdl import (HEADER, datapath_to_vhdl, fsm_guard_literals,
+                   fsm_to_vhdl, guard_literal_count)
 from .vhdl_check import VhdlCheckError, check_vhdl
 from .c import node_function_c, sequencer_order, software_to_c
 from .netlist import Component, Net, Netlist, generate_netlist, netlist_text
 
 __all__ = [
-    "HEADER", "datapath_to_vhdl", "fsm_to_vhdl", "VhdlCheckError",
-    "check_vhdl", "node_function_c", "sequencer_order", "software_to_c",
+    "HEADER", "datapath_to_vhdl", "fsm_guard_literals", "fsm_to_vhdl",
+    "guard_literal_count",
+    "VhdlCheckError", "check_vhdl", "node_function_c", "sequencer_order",
+    "software_to_c",
     "Component", "Net", "Netlist", "generate_netlist", "netlist_text",
 ]

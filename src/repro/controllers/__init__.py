@@ -6,6 +6,8 @@ from .system_controller import (ControllerHarness, SystemController,
                                 synthesize_system_controller)
 from .verify import (DEFAULT_MAX_PRODUCT_STATES, CompositionCheck,
                      verify_composition)
+from .guards import (harvest_care_sets, simplify_controller_guards,
+                     simplify_fsm_conditions)
 from .datapath_controller import (DatapathController,
                                   synthesize_datapath_controller)
 from .io_controller import IoController, synthesize_io_controller
@@ -16,6 +18,8 @@ __all__ = [
     "ControllerHarness", "SystemController", "controller_composition",
     "synthesize_system_controller",
     "CompositionCheck", "verify_composition", "DEFAULT_MAX_PRODUCT_STATES",
+    "harvest_care_sets", "simplify_controller_guards",
+    "simplify_fsm_conditions",
     "DatapathController", "synthesize_datapath_controller", "IoController",
     "synthesize_io_controller", "Arbiter", "FixedPriorityArbiter",
     "RoundRobinArbiter",

@@ -59,7 +59,8 @@ The check is exposed to the flow as the ``verify`` pipeline stage
 from __future__ import annotations
 
 import random
-from collections import Counter
+import threading
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
 from ..automata import (AutomataError, SynchronousComposition,
@@ -82,11 +83,12 @@ _RESTART = "restart"
 _CONTROLLER_ONLY = ("system_done",)
 
 #: Largest reachable product (per side) the bisimulation tier attempts.
-#: Calibrated on the 52-design bench suite: everything up to the
-#: 40-node scale graph (~450 composite states) proves in well under
-#: ~2.5 s, while the 80-node graph (~2500 states) would take tens of
-#: seconds -- past this bound the sampled tier takes over.
-DEFAULT_MAX_PRODUCT_STATES = 2000
+#: Calibrated on the 52-design bench suite: since the packed projection
+#: classes and the τ-chain compression in :mod:`repro.automata.bisim`
+#: landed, the 80-node scale graph (~2500 composite states, the old
+#: fallback) proves in a few seconds, so the whole suite fits the
+#: exhaustive tier (52/52 in ``BENCH_verify_composition.json``).
+DEFAULT_MAX_PRODUCT_STATES = 4000
 
 
 @dataclass(frozen=True)
@@ -171,6 +173,17 @@ class _AdmissibleEnvironment(ProductEnvironment):
         return frozenset(in_flight)
 
 
+#: Fingerprint-keyed memo of materialized products: the verify stage
+#: and the guard don't-care harvester both need the same product in one
+#: flow run, and the BFS is the most expensive step for large designs.
+#: Automatons are immutable, so sharing the instance is safe; the lock
+#: keeps lookup/insert/evict atomic under the thread-backend
+#: BatchRunner (concurrent CoolFlow jobs hit this cache).
+_PRODUCT_CACHE: "OrderedDict[tuple[str, int], object]" = OrderedDict()
+_PRODUCT_CACHE_MAX = 8
+_PRODUCT_CACHE_LOCK = threading.Lock()
+
+
 def controller_product_automaton(
         controller: SystemController,
         max_states: int = DEFAULT_MAX_PRODUCT_STATES):
@@ -179,8 +192,16 @@ def controller_product_automaton(
     One side of the bisimulation tier, exposed for kernel-level
     inspection: a finite automaton of every configuration the
     communicating controllers can reach under any admissible
-    environment, restart loop included.
+    environment, restart loop included.  Results are memoized by
+    ``(controller fingerprint, max_states)`` so the verify tier and the
+    guard-simplification harvest share one materialization per flow.
     """
+    key = (controller.fingerprint(), max_states)
+    with _PRODUCT_CACHE_LOCK:
+        cached = _PRODUCT_CACHE.get(key)
+        if cached is not None:
+            _PRODUCT_CACHE.move_to_end(key)
+            return cached
     components, config = controller_composition(controller)
     phase = components[0]  # phase-first ordering set by controller_composition
 
@@ -188,10 +209,15 @@ def controller_product_automaton(
         states = SynchronousComposition.component_states(config_key)
         return phase.name_of(states[0]) == PHASE_DONE_STATE
 
-    return synchronous_product(
+    product = synchronous_product(
         components, config,
         environment=_AdmissibleEnvironment(completed),
         held=(_RESTART,), max_states=max_states)
+    with _PRODUCT_CACHE_LOCK:
+        _PRODUCT_CACHE[key] = product
+        while len(_PRODUCT_CACHE) > _PRODUCT_CACHE_MAX:
+            _PRODUCT_CACHE.popitem(last=False)
+    return product
 
 
 def stg_step_automaton(stg: Stg,
@@ -244,36 +270,71 @@ def _external_actions(automaton) -> set[str]:
             for t in automaton.transitions for a in t.actions}
 
 
+def _coemission_bursts(automaton) -> list[frozenset[str]]:
+    """Action sets emitted together in one step (either-side bursts)."""
+    symbols = automaton.symbols
+    return [frozenset(symbols.names_of(t.actions))
+            for t in automaton.transitions if len(t.actions) > 1]
+
+
 def _observable_classes(reference, product,
                         resource_of: dict[str, str]
                         ) -> list[tuple[str, frozenset[str]]]:
     """Partition the external action alphabet into projection classes.
 
-    One class per processing unit holding its ``start_*`` commands and
-    its ``reset_*`` line -- the order of starts *within* a unit is
-    observable (it is the schedule), and at most one of them fires per
-    step on either side, so the per-step canonical action order cannot
-    alias.  Every remaining signal (the ``read_*``/``write_*`` memory
-    commands) is its own singleton class: its timing pattern relative
-    to the input letters is checked exactly, while its order against
-    *other* commands inside one concurrent burst is not -- precisely
-    the interleaving freedom concurrent units have.  Controller-only
-    strobes are never observable.
+    The bisimulation tier compares the two sides once per class, with
+    exactly that class observable.  A class is *admissible* when no
+    single step of either side emits two of its members -- the kernel
+    interns a step's actions in canonical (sorted) order, so two
+    same-step observables would be order-indistinguishable and alias.
+
+    Classes are built in two moves:
+
+    * one *seed* class per processing unit holding its ``start_*``
+      commands and its ``reset_*`` line -- the order of starts within a
+      unit is observable (it is the schedule) and at most one fires per
+      step by construction;
+    * every remaining signal (the ``read_*``/``write_*`` memory
+      commands) is then *packed* into the first class it does not
+      conflict with (greedy coloring over the co-emission bursts of
+      both sides), opening a fresh class only when every existing one
+      clashes.  Packing is sound -- each projection only gets *more*
+      observable, so the per-class check is strictly stronger than the
+      old one-singleton-per-signal sweep -- and it collapses the
+      hundreds of per-signal projections of a large design into a
+      handful, which is what lets the 80-node scale graph prove inside
+      the exhaustive tier.  Controller-only strobes are never
+      observable.
     """
     actions = (_external_actions(reference) | _external_actions(product)) \
         - set(_CONTROLLER_ONLY)
+    bursts = [burst for burst in
+              _coemission_bursts(reference) + _coemission_bursts(product)
+              if len(burst & actions) > 1]
     owner: dict[str, str] = {f"reset_{r}": r
                              for r in set(resource_of.values())}
     for action in actions:
         if action.startswith(_START):
             owner[action] = resource_of.get(action[len(_START):], "?")
-    classes: dict[str, set[str]] = {}
-    for action in actions:
-        key = owner.get(action)
-        classes.setdefault(key if key is not None else action,
-                           set()).add(action)
-    return [(label, frozenset(members))
-            for label, members in sorted(classes.items())]
+    seeds: dict[str, set[str]] = {}
+    loose: list[str] = []
+    for action in sorted(actions):
+        unit = owner.get(action)
+        if unit is not None:
+            seeds.setdefault(unit, set()).add(action)
+        else:
+            loose.append(action)
+    classes: list[tuple[str, set[str]]] = sorted(
+        (label, members) for label, members in seeds.items())
+    for action in loose:
+        for _label, members in classes:
+            candidate = members | {action}
+            if not any(len(candidate & burst) > 1 for burst in bursts):
+                members.add(action)
+                break
+        else:
+            classes.append((action, {action}))
+    return [(label, frozenset(members)) for label, members in classes]
 
 
 def _verify_exhaustive(stg: Stg, controller: SystemController, graph,

@@ -39,10 +39,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..automata import AutomataError
 from ..codegen.c import software_to_c
 from ..codegen.netlist import Netlist, generate_netlist, netlist_text
-from ..codegen.vhdl import datapath_to_vhdl, fsm_to_vhdl
+from ..codegen.vhdl import (datapath_to_vhdl, fsm_guard_literals,
+                            fsm_to_vhdl, guard_literal_count)
 from ..codegen.vhdl_check import check_vhdl
+from ..controllers.guards import harvest_care_sets
 from ..comm.refine import CommPlan, refine_communication
 from ..controllers.bus_arbiter import RoundRobinArbiter
 from ..controllers.datapath_controller import (DatapathController,
@@ -101,6 +104,10 @@ class FlowResult:
     #: Product-of-controllers vs minimized-STG equivalence evidence
     #: (None when the flow ran with ``verify_composition=False``).
     composition_check: CompositionCheck | None = None
+    #: Guard-simplification evidence of the codegen stage: VHDL guard
+    #: literal counts before/after and whether reachability care sets
+    #: were harvested (None when ``simplify_guards=False``).
+    guard_report: dict | None = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
     design_time: DesignTimeReport | None = None
     #: How often each pipeline stage actually executed during this run
@@ -149,6 +156,14 @@ class FlowResult:
                             f"x {check.activations} activations")
             lines.append(f"verified composition: controllers x STG "
                          f"{verdict} ({evidence})")
+        if self.guard_report is not None:
+            before = self.guard_report["guard_literals_before"]
+            after = self.guard_report["guard_literals_after"]
+            saved = f" (-{1 - after / before:.0%})" if before else ""
+            care = "reachability don't-cares" \
+                if self.guard_report["care_sets"] else "structural only"
+            lines.append(f"guard simplification: {before} -> {after} VHDL "
+                         f"guard literals{saved}, {care}")
         lines.append(f"generated: {len(self.vhdl_files)} VHDL files, "
                      f"{len(self.c_files)} C files, netlist with "
                      f"{len(self.netlist.components)} components / "
@@ -234,13 +249,44 @@ def _stage_codegen(ctx: FlowContext) -> dict[str, Any]:
     arch: TargetArchitecture = ctx.get("arch")
     hls_results = ctx.get("hls_results")
     controller = ctx.get("controller")
+    simplify, guard_max_states = ctx.get("codegen_options")
+    care_sets: dict = {}
+    care_reason: str | None = None
+    if simplify:
+        try:
+            care_sets = harvest_care_sets(controller,
+                                          max_states=guard_max_states)
+        except AutomataError as exc:
+            # structural simplification still applies; only the
+            # reachability don't-cares are lost
+            care_reason = str(exc)
     vhdl_files: dict[str, str] = {}
+    literals_before = 0
+
+    def emit(fsm) -> str:
+        nonlocal literals_before
+        if not simplify:
+            return fsm_to_vhdl(fsm)
+        literals_before += fsm_guard_literals(fsm)
+        return fsm_to_vhdl(fsm, simplify=True,
+                           care_of=care_sets.get(fsm.name))
+
     for fsm in controller.fsms:
-        vhdl_files[f"{fsm.name}.vhd"] = fsm_to_vhdl(fsm)
-    vhdl_files["ioc.vhd"] = fsm_to_vhdl(ctx.get("io_controller").fsm)
-    vhdl_files["arbiter.vhd"] = fsm_to_vhdl(ctx.get("arbiter").to_fsm())
+        vhdl_files[f"{fsm.name}.vhd"] = emit(fsm)
+    vhdl_files["ioc.vhd"] = emit(ctx.get("io_controller").fsm)
+    vhdl_files["arbiter.vhd"] = emit(ctx.get("arbiter").to_fsm())
     for resource, dpc in ctx.get("datapath_controllers").items():
-        vhdl_files[f"dpc_{resource}.vhd"] = fsm_to_vhdl(dpc.fsm)
+        vhdl_files[f"dpc_{resource}.vhd"] = emit(dpc.fsm)
+    guard_report: dict[str, Any] | None = None
+    if simplify:
+        guard_report = {
+            "simplified": True,
+            "care_sets": not care_reason,
+            "care_fallback": care_reason,
+            "guard_literals_before": literals_before,
+            "guard_literals_after": sum(guard_literal_count(text)
+                                        for text in vhdl_files.values()),
+        }
     for resource, hls in hls_results.items():
         if hls.shared_rtl is not None and hls.node_results:
             vhdl_files[f"dp_{resource}.vhd"] = datapath_to_vhdl(hls.shared_rtl)
@@ -256,7 +302,8 @@ def _stage_codegen(ctx: FlowContext) -> dict[str, Any]:
                 graph, partition, ctx.get("schedule"), ctx.get("plan"),
                 proc.name, controller=controller)
     netlist = generate_netlist(partition, arch, controller, ctx.get("plan"))
-    return {"vhdl_files": vhdl_files, "c_files": c_files, "netlist": netlist}
+    return {"vhdl_files": vhdl_files, "c_files": c_files,
+            "netlist": netlist, "guard_report": guard_report}
 
 
 def _stage_cosim(ctx: FlowContext) -> dict[str, Any]:
@@ -299,8 +346,9 @@ def build_flow_stages() -> list[Stage]:
         Stage("codegen",
               ("graph", "partition", "schedule", "plan", "controller",
                "io_controller", "datapath_controllers", "arbiter",
-               "hls_results", "arch"),
-              ("vhdl_files", "c_files", "netlist"), _stage_codegen),
+               "hls_results", "arch", "codegen_options"),
+              ("vhdl_files", "c_files", "netlist", "guard_report"),
+              _stage_codegen),
         Stage("cosim",
               ("graph", "partition", "schedule", "plan", "controller",
                "hls_results", "arch", "stimuli"),
@@ -366,7 +414,8 @@ class CoolFlow:
                  stage_cache: StageCache | None = None,
                  verify_composition: bool = True,
                  verify_max_states: int = DEFAULT_MAX_PRODUCT_STATES,
-                 verify_strategy: str = "auto") -> None:
+                 verify_strategy: str = "auto",
+                 simplify_guards: bool = True) -> None:
         self.arch = arch
         self.partitioner = partitioner if partitioner is not None \
             else self.default_partitioner()
@@ -383,6 +432,12 @@ class CoolFlow:
         #: changing either re-runs exactly that stage.
         self.verify_max_states = verify_max_states
         self.verify_strategy = verify_strategy
+        #: Route the codegen stage's FSM cascades through the symbolic
+        #: guard engine (dead-branch pruning, same-successor merging,
+        #: reachability don't-cares from the composition product).
+        #: Part of the codegen stage's fingerprint, so toggling it
+        #: re-runs exactly that stage.
+        self.simplify_guards = simplify_guards
         self.design_time_model = design_time_model if design_time_model \
             is not None else DesignTimeModel()
         #: Shared across ``run`` calls of this flow (and across flows
@@ -401,7 +456,9 @@ class CoolFlow:
                           comm_options=(self.reuse_memory,
                                         self.allow_direct_comm),
                           verify_options=(self.verify_max_states,
-                                          self.verify_strategy))
+                                          self.verify_strategy),
+                          codegen_options=(self.simplify_guards,
+                                           self.verify_max_states))
 
         # HLS area feedback: partitioning works on the quick estimator;
         # if the *synthesized* datapath of a device overflows its CLB
@@ -491,6 +548,7 @@ class CoolFlow:
             sim_result=sim_result,
             composition_check=ctx.get("composition_check")
             if self.verify_composition else None,
+            guard_report=ctx.get("guard_report"),
             stage_seconds=dict(executor.stage_seconds),
             design_time=design_time,
             stage_runs=dict(executor.stage_runs),

@@ -1,0 +1,98 @@
+"""Guard objects: the bridge between kernel transitions and the BDD engine.
+
+A :class:`Guard` is one boolean function over interned signal IDs,
+carried by a :class:`~repro.automata.Transition` whenever its firing
+condition is richer than a plain conjunction of positive literals (the
+kernel's zero-cost fast path).  It keeps three views in sync:
+
+* ``engine``/``node`` -- the canonical ROBDD, for algebra (disjunction
+  when the minimizer merges transitions, implication when the
+  bisimulation checker skips subsumed edges);
+* ``cover`` -- a deterministic two-level cover (sorted cubes of
+  ``(signal, polarity)`` literals), for rendering, hashing and cheap
+  structural equality across engines;
+* :meth:`eval` -- direct evaluation against a latched input set, for
+  the executors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..fingerprint import content_hash
+from .bdd import FALSE, TRUE, BddEngine
+from .cover import Cube, cover_node, render_cover
+
+__all__ = ["Guard", "guard_from_cover", "plain_cube"]
+
+
+def plain_cube(cover: Iterable[Cube]) -> tuple[int, ...] | None:
+    """The positive conjunction a cover denotes, or ``None``.
+
+    A cover that is a single all-positive cube (or the constant TRUE)
+    is representable as the kernel's plain ``conditions`` tuple -- the
+    builder downgrades such guards to the fast path.
+    """
+    cover = tuple(cover)
+    if len(cover) != 1:
+        return None
+    cube = cover[0]
+    if any(not positive for _, positive in cube):
+        return None
+    return tuple(variable for variable, _ in cube)
+
+
+class Guard:
+    """An immutable BDD-backed transition guard."""
+
+    __slots__ = ("engine", "node", "cover")
+
+    def __init__(self, engine: BddEngine, node: int,
+                 cover: tuple[Cube, ...]) -> None:
+        self.engine = engine
+        self.node = node
+        self.cover = cover
+
+    # ------------------------------------------------------------------
+    def eval(self, true_signals) -> bool:
+        """Does the guard hold under the latched input set?"""
+        return self.engine.eval(self.node, true_signals)
+
+    def implies(self, other: "Guard") -> bool:
+        if other.engine is not self.engine:
+            raise ValueError("guards of different engines cannot be compared")
+        return self.engine.implies(self.node, other.node)
+
+    def support(self) -> frozenset[int]:
+        return self.engine.support(self.node)
+
+    def is_tautology(self) -> bool:
+        return self.node == TRUE
+
+    def is_false(self) -> bool:
+        return self.node == FALSE
+
+    # ------------------------------------------------------------------
+    def key(self) -> tuple:
+        """Hashable structural identity (engine-independent)."""
+        return ("guard", self.cover)
+
+    def fingerprint(self, name_of: Callable[[int], str]) -> str:
+        """Stable content hash rendered through signal names."""
+        return content_hash(
+            ("guard",) + tuple(
+                tuple((name_of(variable), positive)
+                      for variable, positive in cube)
+                for cube in self.cover))
+
+    def render(self, name_of: Callable[[int], str]) -> str:
+        return render_cover(self.cover, name_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Guard({render_cover(self.cover, str)})"
+
+
+def guard_from_cover(engine: BddEngine, cover: Iterable[Cube]) -> Guard:
+    """Build a guard from a cover, normalizing cube order."""
+    cover = tuple(sorted(tuple(sorted(cube)) for cube in cover))
+    return Guard(engine, cover_node(engine, cover), cover)

@@ -114,3 +114,154 @@ class TestSymmetry:
         assert not result.bisimilar
         # the missing side tracks the argument order
         assert result.missing_side == ("left" if swap else "right")
+
+
+def chain_machine(length, label="ping", tail_actions=("z",)):
+    """?label, then a long silent walk, then one observable action."""
+    b = AutomatonBuilder(f"chain{length}")
+    b.add_state("c0")
+    b.add_transition("c0", "c0")
+    for i in range(1, length + 1):
+        b.add_state(f"c{i}")
+    b.add_transition("c0", "c1", conditions=(label,))
+    for i in range(1, length):
+        b.add_transition(f"c{i}", f"c{i + 1}")     # deterministic τ-chain
+    b.add_transition(f"c{length}", f"c{length}", actions=tail_actions)
+    return b.build()
+
+
+class TestTauChainCompression:
+    def test_long_chains_still_bisimilar(self):
+        # a 40-state silent walk vs a 2-state one: weakly equal
+        result = weak_bisimilar(chain_machine(40), chain_machine(2))
+        assert result.bisimilar
+        # compression strips the interior of the walk before saturation
+        assert result.left_states < 10
+
+    def test_negative_verdict_survives_compression(self):
+        result = weak_bisimilar(chain_machine(40, tail_actions=("z",)),
+                                chain_machine(40, tail_actions=("w",)))
+        assert not result.bisimilar
+        # shortest distinguishing trace; either side's tail action leads
+        assert result.counterexample in (("?ping", "!z"), ("?ping", "!w"))
+
+    def test_tau_cycle_collapses(self):
+        b = AutomatonBuilder("cycle")
+        for name in ("a", "b", "c"):
+            b.add_state(name)
+        b.add_transition("a", "b")   # a -> b -> c -> a: pure τ-cycle
+        b.add_transition("b", "c")
+        b.add_transition("c", "a")
+        cyclic = b.build()
+        d = AutomatonBuilder("dead")
+        d.add_state("only")
+        d.add_transition("only", "only")
+        result = weak_bisimilar(cyclic, d.build())
+        assert result.bisimilar   # both are silent-divergent systems
+
+    def test_compression_keeps_initial_behaviour(self):
+        # initial state is itself inside a chain
+        b = AutomatonBuilder("entry")
+        for name in ("e0", "e1", "e2"):
+            b.add_state(name)
+        b.add_transition("e0", "e1")                 # initial is a chain state
+        b.add_transition("e1", "e2", actions=("x",))
+        b.add_transition("e2", "e2")
+        lhs = b.build()
+        c = AutomatonBuilder("direct")
+        c.add_state("d0")
+        c.add_state("d1")
+        c.add_transition("d0", "d1", actions=("x",))
+        c.add_transition("d1", "d1")
+        result = weak_bisimilar(lhs, c.build())
+        assert result.bisimilar
+
+
+class TestGuardedObservation:
+    def test_parallel_guarded_edges_merge_by_disjunction(self):
+        def one_sided(split):
+            b = AutomatonBuilder("g")
+            b.add_state("s0")
+            b.add_state("s1")
+            b.add_transition("s0", "s0")
+            if split:
+                # two parallel edges a&!b / b&!a ...
+                b.add_transition("s0", "s1", actions=("x",),
+                                 guard_cover=[(("a", True), ("b", False))])
+                b.add_transition("s0", "s1", actions=("x",),
+                                 guard_cover=[(("a", False), ("b", True))])
+            else:
+                # ... vs their disjunction as one edge
+                b.add_transition("s0", "s1", actions=("x",),
+                                 guard_cover=[(("a", True), ("b", False)),
+                                              (("a", False), ("b", True))])
+            b.add_transition("s1", "s1")
+            return b.build()
+
+        result = weak_bisimilar(one_sided(True), one_sided(False))
+        assert result.bisimilar
+
+    def test_labels_canonical_across_covers_and_interning_orders(self):
+        # same guard function, different stored cover (one carries a
+        # redundant subsumed cube) and different interning order: the
+        # observation labels must still line up
+        def machine(redundant, flip):
+            b = AutomatonBuilder("canon")
+            b.add_state("s0")
+            b.add_state("s1")
+            b.add_transition("s0", "s0")
+            if flip:  # intern b before a (different variable order)
+                b.add_transition("s1", "s1", conditions=("b", "a"))
+            cover = [(("a", True), ("b", False))]
+            if redundant:
+                cover.append((("a", True), ("b", False), ("c", True)))
+            b.add_transition("s0", "s1", actions=("x",), guard_cover=cover)
+            if not flip:
+                b.add_transition("s1", "s1", conditions=("b", "a"))
+            return b.build()
+
+        result = weak_bisimilar(machine(True, flip=False),
+                                machine(False, flip=True))
+        assert result.bisimilar, result.counterexample
+
+    def test_labels_canonical_on_wide_support_guards(self):
+        # 12 support variables: canonicalization must not fall back to
+        # the stored (non-canonical) cover above some support cap
+        signals = [f"v{index:02d}" for index in range(12)]
+        wide = tuple((signal, True) for signal in signals)
+
+        def machine(redundant):
+            b = AutomatonBuilder("wide")
+            b.add_state("s0")
+            b.add_state("s1")
+            b.add_transition("s0", "s0")
+            cover = [wide[:6] + ((signals[6], False),),
+                     wide[6:] + ((signals[0], False),)]
+            if redundant:
+                cover.append(wide[:6] + ((signals[6], False),
+                                         (signals[7], True)))
+            b.add_transition("s0", "s1", actions=("x",), guard_cover=cover)
+            b.add_transition("s1", "s1")
+            return b.build()
+
+        result = weak_bisimilar(machine(True), machine(False))
+        assert result.bisimilar, result.counterexample
+
+    def test_subsumed_guarded_edge_is_skipped(self):
+        def machine(extra_subsumed):
+            b = AutomatonBuilder("sub")
+            b.add_state("s0")
+            b.add_state("s1")
+            b.add_transition("s0", "s0")
+            b.add_transition("s0", "s1", actions=("x",),
+                             guard_cover=[(("a", True),), (("b", True),)])
+            if extra_subsumed:
+                # a&!b implies a|b: adds nothing observable (stays
+                # guard-backed thanks to the negated literal)
+                b.add_transition("s0", "s1", actions=("x",),
+                                 guard_cover=[(("a", True), ("b", False))])
+            b.add_transition("s1", "s1")
+            return b.build()
+
+        result = weak_bisimilar(machine(True), machine(False))
+        assert result.bisimilar

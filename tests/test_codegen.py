@@ -1,10 +1,15 @@
 """Tests for VHDL/C/netlist code generation and the VHDL checker."""
 
+import itertools
+import random
+import re
+
 import pytest
 
 from repro.apps import four_band_equalizer, fuzzy_controller
 from repro.codegen import (check_vhdl, datapath_to_vhdl, fsm_to_vhdl,
-                           generate_netlist, netlist_text, software_to_c)
+                           generate_netlist, guard_literal_count,
+                           netlist_text, software_to_c)
 from repro.comm import refine_communication
 from repro.controllers import (Fsm, synthesize_datapath_controller,
                                synthesize_io_controller,
@@ -120,6 +125,220 @@ def _simple_fsm():
     fsm.add_transition("a", "b", conditions=("x",), actions=("y",))
     fsm.add_transition("b", "a", conditions=("x",))
     return fsm
+
+
+def _case_arm(text, state):
+    """The emitted lines of one ``when st_<state> =>`` case arm."""
+    lines = text.splitlines()
+    start = None
+    for i, line in enumerate(lines):
+        if line.strip() == f"when st_{state} =>":
+            start = i + 1
+    assert start is not None, f"no case arm for {state}"
+    arm = []
+    for line in lines[start:]:
+        stripped = line.strip()
+        if stripped.startswith("when ") or stripped == "end case;":
+            break
+        arm.append(stripped)
+    return arm
+
+
+def _interpret_arm(arm, inputs, default_state):
+    """Execute an emitted if/elsif/else cascade for one input valuation."""
+    next_state, outputs = default_state, set()
+    taken = False
+    branch_active = False
+    seen_if = False
+    for line in arm:
+        match = re.match(r"(?:if|elsif) (.*) then$", line)
+        if match:
+            seen_if = True
+            if taken:
+                branch_active = False
+                continue
+            expr = match.group(1)
+            expr_py = re.sub(
+                r"(\w+) = '([01])'",
+                lambda m: (f"({m.group(1)!r} in inputs)" if m.group(2) == "1"
+                           else f"({m.group(1)!r} not in inputs)"),
+                expr)
+            branch_active = eval(expr_py, {"inputs": inputs})  # noqa: S307
+            taken = taken or branch_active
+        elif line == "else":
+            branch_active = not taken
+            taken = True
+        elif line == "end if;":
+            branch_active = False
+        elif line.startswith("--") or line == "null;":
+            continue
+        else:
+            active = branch_active if seen_if else True
+            assign = re.match(r"(\w+) <= '1';", line)
+            goto = re.match(r"next_state <= st_(\w+);", line)
+            if active and assign:
+                outputs.add(assign.group(1))
+            if active and goto:
+                next_state = goto.group(1)
+    return next_state, outputs
+
+
+def _random_fsm(rng, trial):
+    fsm = Fsm(f"rand{trial}")
+    states = [f"s{i}" for i in range(rng.randint(2, 4))]
+    for state in states:
+        fsm.add_state(state, outputs=tuple(
+            rng.sample(["m0", "m1"], rng.randint(0, 1))))
+    for _ in range(rng.randint(1, 6)):
+        fsm.add_transition(
+            rng.choice(states), rng.choice(states),
+            conditions=tuple(rng.sample(["a", "b", "c"], rng.randint(0, 2))),
+            actions=tuple(rng.sample(["x", "y"], rng.randint(0, 2))))
+    return fsm, states
+
+
+class TestCascadeEmission:
+    """The emitted cascade must implement ``Fsm.step`` exactly --
+    unconditional transitions anywhere in the priority list included."""
+
+    @pytest.mark.parametrize("simplify", [False, True],
+                             ids=["default", "simplified"])
+    def test_differential_against_fsm_step(self, simplify):
+        rng = random.Random(99)
+        for trial in range(120):
+            fsm, states = _random_fsm(rng, trial)
+            text = fsm_to_vhdl(fsm, simplify=simplify)
+            assert check_vhdl(text) == [], text
+            for state in states:
+                arm = _case_arm(text, state)
+                for k in range(4):
+                    for combo in itertools.combinations("abc", k):
+                        inputs = set(combo)
+                        want_next, want_out = fsm.step(state, inputs)
+                        got_next, got_out = _interpret_arm(arm, inputs,
+                                                           state)
+                        assert (want_next, set(want_out)) == \
+                            (got_next, got_out), (trial, state, inputs)
+
+    def test_mid_cascade_unconditional_becomes_else_arm(self):
+        fsm = Fsm("shadow")
+        for state in ("a", "b", "c", "d"):
+            fsm.add_state(state)
+        fsm.add_transition("a", "b", conditions=("go",))
+        fsm.add_transition("a", "c")                      # else arm
+        fsm.add_transition("a", "d", conditions=("x",))   # unreachable
+        text = fsm_to_vhdl(fsm)
+        arm = _case_arm(text, "a")
+        assert "else" in arm
+        assert any("unreachable" in line for line in arm), arm
+        assert not any("st_d" in line and line.startswith("next_state")
+                       for line in arm)
+        assert check_vhdl(text) == []
+
+    def test_leading_unconditional_reports_shadowed_tail(self):
+        fsm = Fsm("lead")
+        for state in ("a", "b", "c"):
+            fsm.add_state(state)
+        fsm.add_transition("a", "b")
+        fsm.add_transition("a", "c", conditions=("x",))
+        text = fsm_to_vhdl(fsm)
+        arm = _case_arm(text, "a")
+        assert arm[0] == "next_state <= st_b;"
+        assert any("unreachable" in line for line in arm)
+
+
+class TestSimplifiedEmission:
+    def test_merged_branches_factor_common_literal(self):
+        fsm = Fsm("factored")
+        fsm.add_state("s")
+        fsm.add_state("t")
+        fsm.add_transition("s", "t", conditions=("c1", "c2"), actions=("x",))
+        fsm.add_transition("s", "t", conditions=("c1", "c3"), actions=("x",))
+        fsm.add_transition("t", "t")
+        text = fsm_to_vhdl(fsm, simplify=True)
+        assert "c1 = '1' and (c2 = '1' or c3 = '1')" in text
+        assert guard_literal_count(text) == 3
+        assert check_vhdl(text) == []
+
+    def test_dead_branch_pruned(self):
+        fsm = Fsm("dead")
+        fsm.add_state("s")
+        fsm.add_state("t")
+        fsm.add_state("u")
+        fsm.add_transition("s", "t", conditions=("a",))
+        fsm.add_transition("s", "u", conditions=("a", "b"))  # shadowed
+        fsm.add_transition("t", "t")
+        fsm.add_transition("u", "u")
+        base = fsm_to_vhdl(fsm)
+        simp = fsm_to_vhdl(fsm, simplify=True)
+        assert guard_literal_count(simp) < guard_literal_count(base)
+        assert "st_u" not in "\n".join(_case_arm(simp, "s"))
+
+    def test_care_sets_reduce_literals(self):
+        fsm = Fsm("cared")
+        fsm.add_state("w")
+        fsm.add_state("r")
+        fsm.add_transition("w", "r", conditions=("done_a", "done_b"))
+        fsm.add_transition("r", "r")
+        care = {"w": [{"done_a"}, {"done_a", "done_b"}]}
+        text = fsm_to_vhdl(fsm, simplify=True, care_of=care)
+        assert "done_b = '1'" in text
+        assert "done_a" not in _case_arm(text, "w")[0]
+        assert guard_literal_count(text) == 1
+
+    def test_guard_literal_count_ignores_assignments(self):
+        fsm = Fsm("metric")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", conditions=("p", "q"), actions=("x",))
+        text = fsm_to_vhdl(fsm)
+        assert guard_literal_count(text) == 2
+
+    def test_fsm_guard_literals_matches_emitted_baseline(self):
+        from repro.codegen import fsm_guard_literals
+        rng = random.Random(5)
+        for trial in range(30):
+            fsm, _states = _random_fsm(rng, trial)
+            assert fsm_guard_literals(fsm) == \
+                guard_literal_count(fsm_to_vhdl(fsm))
+
+    def test_double_tautology_care_sets_emit_valid_cascade(self):
+        # both branches' covers become tautologies under the don't-cares;
+        # only the highest-priority one may survive (no stray 'else')
+        fsm = Fsm("taut")
+        for state in ("s", "t1", "t2"):
+            fsm.add_state(state)
+        fsm.add_transition("s", "t1", conditions=("a",))
+        fsm.add_transition("s", "t2", conditions=("b",))
+        fsm.add_transition("t1", "t1")
+        fsm.add_transition("t2", "t2")
+        care = {"s": [{"a"}, {"a", "b"}]}  # 'a' always latched in s
+        text = fsm_to_vhdl(fsm, simplify=True, care_of=care)
+        assert check_vhdl(text) == []
+        arm = _case_arm(text, "s")
+        assert "else" not in arm
+        assert arm == ["next_state <= st_t1;"], arm
+        # and the emitted arm agrees with Fsm.step on every care vector
+        for valuation in care["s"]:
+            want_next, _ = fsm.step("s", set(valuation))
+            got_next, _ = _interpret_arm(arm, set(valuation), "s")
+            assert got_next == want_next
+
+    def test_factored_or_terms_are_parenthesized(self):
+        # a shared-literal factor plus a disjoint cube must not emit
+        # the illegal 'A and (B or C) or D' mixed-operator form
+        fsm = Fsm("mixed")
+        fsm.add_state("s")
+        fsm.add_state("t")
+        fsm.add_transition("s", "t", conditions=("a", "b"), actions=("x",))
+        fsm.add_transition("s", "t", conditions=("a", "c"), actions=("x",))
+        fsm.add_transition("s", "t", conditions=("d",), actions=("x",))
+        fsm.add_transition("t", "t")
+        text = fsm_to_vhdl(fsm, simplify=True)
+        cascade = "\n".join(_case_arm(text, "s"))
+        assert "(a = '1' and (b = '1' or c = '1')) or d = '1'" \
+            in cascade, cascade
+        assert check_vhdl(text) == []
 
 
 class TestCCodegen:

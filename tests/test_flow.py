@@ -112,6 +112,27 @@ class TestFlowVariants:
         assert result.sim_result.outputs["y"] == \
             execute(graph, stimuli)["y"]
 
+    def test_guard_simplification_default_on(self, equalizer_flow_result):
+        result, *_ = equalizer_flow_result
+        report = result.guard_report
+        assert report is not None and report["simplified"]
+        assert report["care_sets"] and report["care_fallback"] is None
+        assert report["guard_literals_after"] < \
+            report["guard_literals_before"]
+        assert "guard simplification:" in result.report()
+        for text in result.vhdl_files.values():
+            assert check_vhdl(text) == []
+
+    def test_guard_simplification_opt_out(self):
+        graph = four_band_equalizer(words=8)
+        result = CoolFlow(minimal_board(), simplify_guards=False).run(graph)
+        assert result.guard_report is None
+        # baseline cascades spell every repeated wait out
+        on = CoolFlow(minimal_board()).run(graph)
+        from repro.codegen import guard_literal_count
+        assert sum(map(guard_literal_count, result.vhdl_files.values())) > \
+            sum(map(guard_literal_count, on.vhdl_files.values()))
+
 
 class TestFuzzyCaseStudy:
     """The Section 3 experiment in miniature (the benchmark runs more)."""
