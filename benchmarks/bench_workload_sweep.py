@@ -85,10 +85,13 @@ def measure(n_graphs: int = DEFAULT_GRAPHS, seed: int = SUITE_SEED) -> dict:
         }
     backends_agree = views["serial"] == views["thread"]
 
-    # 2. shared-cache re-sweep: second pass over an unchanged suite
+    # 2. shared-cache re-sweep: second pass over an unchanged suite.
+    # snapshot() between the passes so the warm-pass hit rate is
+    # reported per window (~1.0) instead of diluted by the cold pass
     cache = StageCache(max_entries=4096)
     runner = BatchRunner(backend="serial", stage_cache=cache)
     _, cold_s = _explore(graphs, runner)
+    warm_window = cache.snapshot()
     warm_exploration, warm_s = _explore(graphs, runner)
     warm_stage_runs = sum(
         sum(o.result.stage_runs.values())
@@ -118,6 +121,7 @@ def measure(n_graphs: int = DEFAULT_GRAPHS, seed: int = SUITE_SEED) -> dict:
             "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
             "warm_stage_runs": warm_stage_runs,
             "cache": cache.stats(),
+            "warm_cache": cache.stats(since=warm_window),
         },
         "process_isolation": {
             "jobs": len(outcomes),
@@ -140,10 +144,16 @@ def check(payload: dict) -> None:
         "re-sweeping an unchanged suite must be fully cache-served"
     assert payload["shared_cache"]["warm_sweep_s"] < \
         payload["shared_cache"]["cold_sweep_s"]
+    warm_cache = payload["shared_cache"]["warm_cache"]
+    assert warm_cache["misses"] == 0, "warm pass must never miss"
+    assert warm_cache["hit_rate"] >= 0.99, \
+        "warm-window hit rate must be ~1.0 (snapshot delta, not lifetime)"
     isolation = payload["process_isolation"]
     assert isolation["failed_outcomes"] == 1
     assert isolation["ok_outcomes"] == isolation["jobs"] - 1
     assert "pickle" in isolation["poison_error"].lower()
+    assert "partitioner" in isolation["poison_error"], \
+        "submission-time validation must name the offending field"
 
 
 def report(payload: dict) -> str:
@@ -158,7 +168,8 @@ def report(payload: dict) -> str:
     cache = payload["shared_cache"]
     lines.append(f"  re-sweep cold/warm  : {cache['cold_sweep_s'] * 1e3:8.1f} / "
                  f"{cache['warm_sweep_s'] * 1e3:.1f} ms "
-                 f"({cache['warm_speedup']}x, shared stage cache)")
+                 f"({cache['warm_speedup']}x, warm hit rate "
+                 f"{cache['warm_cache']['hit_rate']})")
     isolation = payload["process_isolation"]
     lines.append(f"  process isolation   : {isolation['failed_outcomes']} "
                  f"poisoned job contained, sweep survived")

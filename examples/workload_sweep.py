@@ -1,50 +1,75 @@
 #!/usr/bin/env python3
-"""Streaming sweep of a generated workload suite.
+"""Streaming sweep of a generated workload suite, sharded over cores.
 
 Samples a deterministic population of synthetic designs
-(:func:`repro.workloads.workload_suite`), fans each through the full
-COOL flow with the streaming :class:`~repro.flow.batch.BatchRunner` --
-progress is reported per completion, a shared
-:class:`~repro.flow.pipeline.StageCache` reuses stage results across
-jobs, and a per-job timeout guards against stragglers -- then prints
-the per-graph Pareto-ranked implementations.
+(:func:`repro.workloads.workload_suite`) and fans each through the full
+COOL flow twice:
+
+* with the sharded map-reduce backend (``BatchRunner(shards=4)``) --
+  the compact specs are shipped to worker processes that build the
+  graphs in-worker and return :class:`~repro.flow.batch.DesignPoint`
+  summaries, each worker reusing one process-local
+  :class:`~repro.flow.pipeline.StageCache` across its shards;
+* with the streaming thread backend on a shared cache, to show the
+  same suite ranked identically (the shard backend is bit-identical to
+  serial by construction).
+
+Progress is reported per completion and the per-graph Pareto-ranked
+implementations are printed at the end.
 """
 
 from repro.flow import BatchRunner, DesignSpaceExplorer, StageCache
 from repro.partition import GreedyPartitioner
 from repro.platform import minimal_board
-from repro.workloads import build_graphs, workload_suite
+from repro.workloads import workload_suite
+
+
+def progress(outcome, done, total):
+    status = f"{outcome.seconds * 1e3:6.0f} ms" if outcome.ok \
+        else f"FAILED ({outcome.error})"
+    print(f"  [{done:2}/{total}] {outcome.job.name:<44} {status}")
 
 
 def main() -> None:
     specs = workload_suite(12, seed=3)
-    graphs = build_graphs(specs)
-    print(f"generated {len(graphs)} designs across "
+    print(f"generated {len(specs)} designs across "
           f"{len({s.family for s in specs})} families:")
-    for spec, graph in zip(specs, graphs):
-        stats = graph.stats()
-        print(f"  {graph.name:<28} {stats['nodes']:>3} nodes "
-              f"{stats['edges']:>3} edges depth {stats['depth']}")
+    for spec in specs:
+        print(f"  {spec.label:<28} ({spec.family})")
 
-    cache = StageCache(max_entries=2048)
-    runner = BatchRunner(max_workers=4, stage_cache=cache, job_timeout=120.0)
-
-    def progress(outcome, done, total):
-        status = f"{outcome.seconds * 1e3:6.0f} ms" if outcome.ok \
-            else f"FAILED ({outcome.error})"
-        print(f"  [{done:2}/{total}] {outcome.job.name:<44} {status}")
-
-    print("\nsweeping (streaming completions):")
+    # the one-knob parallel sweep: compact specs in, summaries out,
+    # one stage cache per worker process, results identical to serial
+    runner = BatchRunner(shards=4, max_workers=4, job_timeout=120.0)
+    print("\nsweeping (sharded map-reduce, streaming completions):")
     exploration = DesignSpaceExplorer(
-        graphs,
+        specs,
         architectures=[minimal_board()],
         partitioners=[GreedyPartitioner()],
         runner=runner,
     ).explore(progress=progress)
 
+    stats = runner.shard_stats
+    print(f"\nmap: {len(stats.shards)} shards over {stats.workers} workers "
+          f"in {stats.map_seconds * 1e3:.0f} ms, merged worker caches: "
+          f"{stats.cache}")
+
+    # the same sweep on the in-process thread backend with a shared
+    # cache ranks identically -- pick the backend by workload, not by
+    # results (see the repro.flow.batch docstring for guidance)
+    cache = StageCache(max_entries=2048)
+    threaded = DesignSpaceExplorer(
+        specs,
+        architectures=[minimal_board()],
+        partitioners=[GreedyPartitioner()],
+        runner=BatchRunner(max_workers=4, stage_cache=cache,
+                           job_timeout=120.0),
+    ).explore()
+    assert [p.label for p in threaded.ranked()] == \
+        [p.label for p in exploration.ranked()], "backends must agree"
+
     print(f"\n{len(exploration.points)} implementations, "
           f"{len(exploration.pareto())} Pareto-optimal "
-          f"(cache: {cache.stats()}):\n")
+          f"(identical on the thread backend):\n")
     print(exploration.table())
 
 

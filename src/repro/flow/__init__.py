@@ -4,8 +4,12 @@ from .pipeline import (FlowContext, PipelineError, PipelineExecutor, Stage,
                        StageCache, fingerprint_of, stage_timer)
 from .cool import CoolFlow, FlowResult, build_flow_stages, \
     select_eviction_victim
-from .batch import (BatchRunner, DesignPoint, DesignSpaceExplorer,
-                    ExplorationResult, FlowJob, JobOutcome)
+from .batch import (JOB_TIMEOUT_SEMANTICS, BatchRunner, DesignPoint,
+                    DesignSpaceExplorer, ExplorationResult, FlowJob,
+                    JobOutcome, design_point_of, payload_check)
+from .shard import (Shard, ShardError, ShardOutcome, ShardPlanner,
+                    ShardSweepStats, SweepResult, map_reduce_sweep,
+                    reduce_shards, sharded_sweep)
 from .timing import (DesignTimeModel, DesignTimeReport,
                      SYNTHESIS_SECONDS_PER_CLB)
 
@@ -14,4 +18,8 @@ __all__ = ["CoolFlow", "FlowResult", "build_flow_stages",
            "SYNTHESIS_SECONDS_PER_CLB", "Stage", "FlowContext",
            "PipelineExecutor", "PipelineError", "StageCache", "stage_timer",
            "fingerprint_of", "BatchRunner", "FlowJob", "JobOutcome",
-           "DesignPoint", "ExplorationResult", "DesignSpaceExplorer"]
+           "DesignPoint", "ExplorationResult", "DesignSpaceExplorer",
+           "JOB_TIMEOUT_SEMANTICS", "payload_check", "design_point_of",
+           "ShardPlanner", "Shard", "ShardError", "ShardOutcome",
+           "ShardSweepStats", "SweepResult", "sharded_sweep",
+           "reduce_shards", "map_reduce_sweep"]

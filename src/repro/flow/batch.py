@@ -5,18 +5,22 @@ the map-reduce shape of parallel controller synthesis (Alimguzhin et
 al.) fits the COOL flow directly because every (graph, architecture,
 partitioner, options) job is independent:
 
-* :class:`FlowJob` -- one fully-specified flow invocation;
+* :class:`FlowJob` -- one fully-specified flow invocation, given either
+  a built :class:`~repro.graph.taskgraph.TaskGraph` or a compact
+  :class:`~repro.workloads.WorkloadSpec` built in-worker;
 * :class:`BatchRunner` -- streams a job list across
-  :mod:`concurrent.futures` workers (threads by default, processes or
-  strictly serial on request): jobs are submitted individually and
-  consumed ``as_completed``, outcomes are reassembled into input order,
-  an optional ``progress`` callback observes each completion as it
-  happens, and a per-job ``job_timeout`` turns stragglers into failed
-  outcomes instead of stalling the sweep.  Failures -- including
-  *pickling* failures of the process backend, which surface on the
-  future rather than inside the job body -- are isolated per job, so
-  one bad design can never sink a sweep;
-* :class:`DesignSpaceExplorer` -- sweeps graphs x architectures x
+  :mod:`concurrent.futures` workers (threads by default, processes,
+  sharded worker processes or strictly serial on request): jobs are
+  submitted individually and consumed ``as_completed``, outcomes are
+  reassembled into input order, an optional ``progress`` callback
+  observes each completion as it happens, and a per-job ``job_timeout``
+  turns stragglers into failed outcomes instead of stalling the sweep.
+  Failures are isolated per job, so one bad design can never sink a
+  sweep; for the process-boundary backends, *pickling* problems are
+  caught at submission time by :func:`payload_check` with an error
+  naming the offending job field instead of a mid-sweep ``TypeError``
+  from the pool;
+* :class:`DesignSpaceExplorer` -- sweeps designs x architectures x
   partitioners x deadlines and ranks the implementations on the classic
   co-design Pareto axes: makespan, CLB area, communication memory words.
 
@@ -27,11 +31,40 @@ construction.  A :class:`~repro.flow.pipeline.StageCache` passed to the
 runner is shared by every job of the sweep (thread/serial backends), so
 jobs that revisit a (graph, architecture) pair -- deadline sweeps,
 repeated suites -- reuse each other's stage results.
+
+Choosing a backend
+------------------
+``"serial"``
+    Fastest for sub-second jobs (no pool overhead) and the reference
+    semantics every other backend must reproduce bit-identically.
+``"thread"``
+    Buys *orchestration*, not speed: per-job failure isolation,
+    streaming progress and ``job_timeout`` on a shared address space
+    (one shared ``stage_cache`` serves every job).  The flow is pure
+    Python, so threads serialize on the GIL -- a thread sweep measures
+    at or below serial throughput (``BENCH_workload_sweep.json``).
+``"process"``
+    True parallelism, paid for per *job*: every job payload is pickled
+    in and every (large, ~75 KB) ``FlowResult`` is pickled back, so it
+    only wins when per-job compute (minute-scale MILP solves) dwarfs
+    the result-pickling cost.  Payloads must pass :func:`payload_check`.
+``"shard"``
+    True parallelism for *sweeps*: jobs are reduced to compact payloads
+    (ideally a :class:`~repro.workloads.WorkloadSpec` built in-worker),
+    partitioned into deterministic shards by content fingerprint, run
+    against a per-worker-process stage cache initialized once, and
+    returned as compact :class:`DesignPoint` summaries -- no fat
+    artifact pickling on the hot path.  Results are bit-identical to
+    ``"serial"`` (see :mod:`repro.flow.shard`); wall-clock speedup
+    scales with cores (``BENCH_shard_sweep.json``).  Use ``shards=`` to
+    control the partition count.  The trade: outcomes carry summaries,
+    not ``FlowResult`` artifacts -- rank and reduce, don't introspect.
 """
 
 from __future__ import annotations
 
 import copy
+import pickle
 import time
 from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor,
@@ -43,54 +76,140 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..graph.taskgraph import TaskGraph
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
+from ..workloads.generators import WorkloadSpec
 from .cool import CoolFlow, FlowResult
 from .pipeline import StageCache
 
 __all__ = ["FlowJob", "JobOutcome", "BatchRunner", "DesignPoint",
-           "ExplorationResult", "DesignSpaceExplorer"]
+           "ExplorationResult", "DesignSpaceExplorer",
+           "JOB_TIMEOUT_SEMANTICS", "payload_check", "design_point_of"]
 
 #: Signature of the streaming progress hook:
 #: ``callback(outcome, done_count, total)``, invoked in completion order.
 ProgressCallback = Callable[["JobOutcome", int, int], None]
 
+#: Per-backend semantics of ``BatchRunner(job_timeout=...)`` -- the one
+#: authoritative record; docstrings, the shard layer and the tests all
+#: defer to this table.  Pure-Python jobs cannot be preempted, so no
+#: backend ever interrupts a running job: "fails" means the sweep
+#: reports a failed :class:`JobOutcome` and moves on.
+JOB_TIMEOUT_SEMANTICS: Mapping[str, str] = {
+    "serial": "ignored: the single in-process job cannot be preempted,"
+              " so there is nothing the budget could buy",
+    "thread": "per job, measured from the moment the job starts"
+              " executing; an expired job fails but its worker thread"
+              " runs on until the job body really returns",
+    "process": "per job, measured from the moment the job starts"
+               " executing; an expired job fails while its worker"
+               " process runs on, and once every worker is held by an"
+               " expired job the queued jobs fail as starved -- the"
+               " sweep always finishes in bounded time",
+    "shard": "per job, checked when the job returns: an over-budget job"
+             " is reported failed and its result discarded, then the"
+             " shard continues with its next job (a job that never"
+             " returns stalls its shard -- pair with small shards)",
+}
+
 
 @dataclass(frozen=True)
 class FlowJob:
-    """One flow invocation: design, target, engine and options."""
+    """One flow invocation: design, target, engine and options.
 
-    graph: TaskGraph
-    arch: TargetArchitecture
+    The design is given either as a built ``graph`` or as a compact
+    ``workload`` spec (exactly one of the two); a spec-based job builds
+    its graph inside the worker, which is what keeps shard/process
+    payloads small -- a :class:`~repro.workloads.WorkloadSpec` pickles
+    at ~200 bytes where its built graph costs kilobytes.
+    """
+
+    graph: TaskGraph | None = None
+    arch: TargetArchitecture | None = None
     partitioner: Partitioner | None = None
     deadline: int | None = None
     stimuli: Mapping[str, list[int]] | None = None
     reuse_memory: bool = True
     allow_direct_comm: bool = True
     label: str = ""
+    workload: WorkloadSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.arch is None:
+            raise ValueError("FlowJob needs an architecture (arch=)")
+        if (self.graph is None) == (self.workload is None):
+            raise ValueError(
+                "FlowJob needs exactly one design source: either a built "
+                "graph= or a workload= spec built in-worker")
+
+    @property
+    def design_name(self) -> str:
+        """The design's display name without forcing a spec build."""
+        return self.graph.name if self.graph is not None \
+            else self.workload.label
 
     @property
     def name(self) -> str:
-        """Display name: the label, or graph@arch."""
+        """Display name: the label, or design@arch."""
         if self.label:
             return self.label
         # derive the default label from the flow's actual default engine
         # so the displayed algorithm can never drift from behaviour
         algo = self.partitioner.name if self.partitioner is not None \
             else CoolFlow.default_partitioner().name
-        return f"{self.graph.name}@{self.arch.name}/{algo}"
+        return f"{self.design_name}@{self.arch.name}/{algo}"
 
 
 @dataclass
 class JobOutcome:
-    """Result (or failure) of one batch job."""
+    """Result (or failure) of one batch job.
+
+    ``result`` carries the full :class:`~repro.flow.cool.FlowResult` on
+    the in-process backends; the shard backend ships only the compact
+    ``point`` summary back from its workers (``result`` stays ``None``
+    even for successful jobs -- check ``ok``, not ``result``).
+    """
 
     job: FlowJob
     result: FlowResult | None = None
     error: str | None = None
     seconds: float = 0.0
+    point: "DesignPoint | None" = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+#: Job fields shipped across a process boundary, in validation order.
+_PAYLOAD_FIELDS = ("graph", "workload", "arch", "partitioner", "deadline",
+                   "stimuli")
+
+
+def payload_check(job: FlowJob) -> str | None:
+    """Submission-time pickling validation for process-boundary backends.
+
+    Returns ``None`` for a shippable job, otherwise an actionable error
+    naming the offending field.  The process and shard backends run this
+    *before* submitting, so an un-picklable job fails fast as its own
+    outcome instead of surfacing as a mid-sweep ``TypeError`` from the
+    pool -- and the message says which field to fix rather than where
+    the pool happened to choke.
+    """
+    for name in _PAYLOAD_FIELDS:
+        value = getattr(job, name)
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            return (f"unpicklable job payload: field {name!r} "
+                    f"({type(value).__name__}) cannot cross the process "
+                    f"boundary -- {type(exc).__name__}: {exc}. Use a "
+                    f"picklable {name} (for designs, submit a compact "
+                    f"workload= spec and let the worker build it).")
+    return None
+
+
+def _materialize_graph(job: FlowJob) -> TaskGraph:
+    """The job's task graph, building a spec-based design in-worker."""
+    return job.graph if job.graph is not None else job.workload.build()
 
 
 def _run_job(job: FlowJob, stage_cache: StageCache | None) -> FlowResult:
@@ -101,7 +220,8 @@ def _run_job(job: FlowJob, stage_cache: StageCache | None) -> FlowResult:
                     reuse_memory=job.reuse_memory,
                     allow_direct_comm=job.allow_direct_comm,
                     stage_cache=stage_cache)
-    return flow.run(job.graph, stimuli=job.stimuli, deadline=job.deadline)
+    return flow.run(_materialize_graph(job), stimuli=job.stimuli,
+                    deadline=job.deadline)
 
 
 def _run_outcome(job: FlowJob,
@@ -125,47 +245,60 @@ class BatchRunner:
         Worker count for the pool backends; ``None`` lets
         :mod:`concurrent.futures` pick.
     backend:
-        ``"thread"`` (default), ``"process"`` (jobs and results must be
-        picklable) or ``"serial"``.
+        ``"thread"`` (default), ``"process"`` (payloads must pass
+        :func:`payload_check`), ``"shard"`` (map-reduce over worker
+        processes, see :mod:`repro.flow.shard`) or ``"serial"``.
     stage_cache:
         Optional :class:`~repro.flow.pipeline.StageCache` shared by every
         job of the batch (it is lock-protected).  Sweeps that revisit a
         (graph, architecture) pair -- several deadlines over one design,
         a suite run twice -- are then served stage results across jobs
-        instead of recomputing them.  Ignored by the ``"process"``
-        backend: workers live in separate address spaces.
+        instead of recomputing them.  Ignored by the ``"process"`` and
+        ``"shard"`` backends: their workers live in separate address
+        spaces (the shard backend keeps one cache per worker process
+        instead, initialized once and reused across its shards).
     job_timeout:
-        Optional per-job budget in seconds, measured from the moment
-        the job *starts executing* (queued jobs do not accrue budget).
-        On the pool backends an expired job is reported as a failed
-        :class:`JobOutcome`; pure-Python work cannot be preempted, so
-        its worker stays occupied until the job really returns.  Should
-        *every* worker end up held by a timed-out job, the queued jobs
-        start accruing budget too and eventually fail as starved --
-        the sweep always finishes in bounded time, even when a
-        straggler never returns.  The serial backend cannot preempt the
-        single in-process job and ignores the budget.
+        Optional per-job budget in seconds; the per-backend semantics
+        are recorded once in :data:`JOB_TIMEOUT_SEMANTICS`.  In short:
+        pool backends start the clock when the job starts executing and
+        report expiry as a failed :class:`JobOutcome` without preempting
+        the worker; the shard backend checks the budget when each job
+        returns; the serial backend ignores it.
+    shards:
+        Shard count for the ``"shard"`` backend (defaults to
+        ``max_workers``, falling back to the CPU count).  Setting it
+        with the default backend selects ``"shard"`` implicitly, so
+        ``BatchRunner(shards=4)`` is the one-knob parallel sweep.
 
     Note on speed: the flow is pure Python, so threads serialize on the
-    GIL, and a process pool must pickle every (large) ``FlowResult``
-    back -- for the bundled (sub-second) jobs both pools measure
-    *slower* than ``"serial"`` (see ``BENCH_flow_pipeline.json``).
-    Choose the backend for orchestration semantics -- per-job failure
-    isolation, streaming progress and deterministic fan-out -- and reach
-    for ``"process"`` only when per-job compute (e.g. the bnb MILP
-    backend, minute-scale solves) dwarfs the result-pickling cost.  For
-    repeated sweeps over the same designs a shared ``stage_cache`` on
-    the ``"serial"``/``"thread"`` backends buys far more than worker
-    parallelism: unchanged (graph, arch) pairs collapse to dictionary
-    lookups (see ``BENCH_workload_sweep.json``).
+    GIL, and a naive process pool must pickle every (large)
+    ``FlowResult`` back -- for the bundled (sub-second) jobs both
+    measure at or below ``"serial"`` throughput (see
+    ``BENCH_flow_pipeline.json``).  Real multi-core speedup comes from
+    the ``"shard"`` backend, which ships compact payloads in and
+    summaries out (``BENCH_shard_sweep.json``); reach for plain
+    ``"process"`` only when per-job compute (e.g. minute-scale MILP
+    solves) dwarfs the result-pickling cost and the full ``FlowResult``
+    is needed.  For repeated sweeps over unchanged designs a shared
+    ``stage_cache`` on the ``"serial"``/``"thread"`` backends buys far
+    more than worker parallelism: unchanged (graph, arch) pairs
+    collapse to dictionary lookups (see ``BENCH_workload_sweep.json``).
     """
 
     def __init__(self, max_workers: int | None = None,
                  backend: str = "thread",
                  stage_cache: StageCache | None = None,
-                 job_timeout: float | None = None) -> None:
-        if backend not in ("thread", "process", "serial"):
+                 job_timeout: float | None = None,
+                 shards: int | None = None) -> None:
+        if shards is not None and backend == "thread":
+            backend = "shard"  # the one-knob spelling: BatchRunner(shards=4)
+        if backend not in ("thread", "process", "serial", "shard"):
             raise ValueError(f"unknown batch backend {backend!r}")
+        if shards is not None and backend != "shard":
+            raise ValueError(f"shards= only applies to the shard backend, "
+                             f"not {backend!r}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         if job_timeout is not None and job_timeout <= 0:
             raise ValueError(f"job_timeout must be positive, got "
                              f"{job_timeout}")
@@ -173,6 +306,11 @@ class BatchRunner:
         self.backend = backend
         self.stage_cache = stage_cache
         self.job_timeout = job_timeout
+        self.shards = shards
+        #: Map-reduce evidence of the most recent ``"shard"`` run
+        #: (:class:`repro.flow.shard.ShardSweepStats`): per-shard
+        #: timings, worker pids and merged cache statistics.
+        self.shard_stats = None
 
     # ------------------------------------------------------------------
     def run(self, jobs: Iterable[FlowJob],
@@ -198,7 +336,18 @@ class BatchRunner:
                 if progress is not None:
                     progress(outcome, done, total)
             return outcomes
+        if self.backend == "shard":
+            return self._run_sharded(jobs, progress)
         return self._run_pooled(jobs, progress)
+
+    def _run_sharded(self, jobs: list[FlowJob],
+                     progress: ProgressCallback | None) -> list[JobOutcome]:
+        # deferred import: shard builds on this module's job/outcome types
+        from .shard import sharded_sweep
+        outcomes, self.shard_stats = sharded_sweep(
+            jobs, shards=self.shards, max_workers=self.max_workers,
+            job_timeout=self.job_timeout, progress=progress)
+        return outcomes
 
     #: How often the timeout loop re-checks for queued jobs entering
     #: execution (their budget clock starts only then).
@@ -212,11 +361,26 @@ class BatchRunner:
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
         done_count = 0
         abandoned = False
+        # submission-time payload validation (process boundary only):
+        # an un-shippable job becomes its own failed outcome *now*, with
+        # the offending field named, and is never handed to the pool
+        rejected: list[int] = []
+        if self.backend == "process":
+            for index, job in enumerate(jobs):
+                error = payload_check(job)
+                if error is not None:
+                    outcomes[index] = JobOutcome(job, error=error)
+                    rejected.append(index)
         pool = pool_cls(max_workers=self.max_workers)
         try:
+            for index in rejected:
+                done_count += 1
+                if progress is not None:
+                    progress(outcomes[index], done_count, len(jobs))
             index_of: dict[Future, int] = {}
             for index, job in enumerate(jobs):
-                index_of[pool.submit(_run_outcome, job, cache)] = index
+                if outcomes[index] is None:
+                    index_of[pool.submit(_run_outcome, job, cache)] = index
             pending = set(index_of)
             started_at: dict[Future, float] = {}
             stuck: set[Future] = set()    # timed out but still on a worker
@@ -433,15 +597,19 @@ class ExplorationResult:
         return "\n".join(lines)
 
 
-def _point_from(outcome: JobOutcome) -> DesignPoint:
-    result = outcome.result
-    assert result is not None
+def design_point_of(result: FlowResult, label: str,
+                    deadline: int | None) -> DesignPoint:
+    """Reduce a full flow result to its compact metrics summary.
+
+    This is the projection the explorer ranks on -- and the *only*
+    thing a shard worker ships back, so it must stay cheap to pickle.
+    """
     summary = result.partition_result.summary()
     return DesignPoint(
-        label=outcome.job.name,
+        label=label,
         algorithm=summary["algorithm"],
         arch=result.arch.name,
-        deadline=outcome.job.deadline,
+        deadline=deadline,
         makespan=result.makespan,
         total_clbs=sum(result.clbs_per_fpga.values()),
         memory_words=result.plan.memory_map.words_used,
@@ -453,35 +621,47 @@ def _point_from(outcome: JobOutcome) -> DesignPoint:
     )
 
 
+def _point_from(outcome: JobOutcome) -> DesignPoint:
+    if outcome.point is not None:  # compact summary from a shard worker
+        return outcome.point
+    assert outcome.result is not None
+    return design_point_of(outcome.result, outcome.job.name,
+                           outcome.job.deadline)
+
+
 class DesignSpaceExplorer:
-    """Sweep graphs x architectures x partitioners x deadlines.
+    """Sweep designs x architectures x partitioners x deadlines.
 
     ``graphs`` may be a single :class:`~repro.graph.taskgraph.TaskGraph`
-    (the classic one-design exploration) or a sequence of graphs -- e.g.
-    a generated :func:`~repro.workloads.workload_suite` -- in which case
-    the cross-product additionally fans over the designs and every label
-    is prefixed with the graph name.  ``explore()`` drives the jobs
-    through a :class:`BatchRunner` and reduces every successful
+    (the classic one-design exploration) or a sequence of designs -- in
+    which case the cross-product additionally fans over the designs and
+    every label is prefixed with the design name.  Each entry is either
+    a built graph or a compact :class:`~repro.workloads.WorkloadSpec`
+    (e.g. straight from :func:`~repro.workloads.workload_suite`); spec
+    entries are built inside the worker, which is what the shard
+    backend's compact-payload contract wants.  ``explore()`` drives the
+    jobs through a :class:`BatchRunner` and reduces every successful
     implementation to a :class:`DesignPoint`; the
     :class:`ExplorationResult` ranks them and computes the per-graph
     Pareto front over (makespan, CLB area, memory words).
     """
 
-    def __init__(self, graphs: TaskGraph | Sequence[TaskGraph],
+    def __init__(self, graphs: TaskGraph | WorkloadSpec |
+                 Sequence[TaskGraph | WorkloadSpec],
                  architectures: Sequence[TargetArchitecture],
                  partitioners: Sequence[Partitioner],
                  deadlines: Sequence[int | None] = (None,),
                  runner: BatchRunner | None = None) -> None:
-        if isinstance(graphs, TaskGraph):
+        if isinstance(graphs, (TaskGraph, WorkloadSpec)):
             graphs = [graphs]
         self.graphs = list(graphs)
         if not self.graphs:
             raise ValueError("need at least one graph")
         if not architectures or not partitioners:
             raise ValueError("need at least one architecture and partitioner")
-        names = [g.name for g in self.graphs]
+        names = [self._design_name(g) for g in self.graphs]
         if len(set(names)) != len(names):
-            raise ValueError(f"graph names must be unique, got {names}")
+            raise ValueError(f"design names must be unique, got {names}")
         self.architectures = list(architectures)
         self.partitioners = list(partitioners)
         self.deadlines = list(deadlines) or [None]
@@ -491,6 +671,11 @@ class DesignSpaceExplorer:
     def graph(self) -> TaskGraph:
         """The first (historically: only) explored graph."""
         return self.graphs[0]
+
+    @staticmethod
+    def _design_name(design: TaskGraph | WorkloadSpec) -> str:
+        """Display name of a design entry without forcing a spec build."""
+        return design.name if isinstance(design, TaskGraph) else design.label
 
     def _partitioner_labels(self) -> list[str]:
         """One display name per partitioner, disambiguated on collision.
@@ -517,13 +702,16 @@ class DesignSpaceExplorer:
         labels = self._partitioner_labels()
         multi = len(self.graphs) > 1
         out = []
-        for graph, arch, (partitioner, plabel), deadline in product(
+        for design, arch, (partitioner, plabel), deadline in product(
                 self.graphs, self.architectures,
                 zip(self.partitioners, labels), self.deadlines):
             tag = f"@{deadline}" if deadline is not None else ""
-            prefix = f"{graph.name}@" if multi else ""
+            prefix = f"{self._design_name(design)}@" if multi else ""
+            built = isinstance(design, TaskGraph)
             out.append(FlowJob(
-                graph=graph, arch=arch, partitioner=partitioner,
+                graph=design if built else None,
+                workload=None if built else design,
+                arch=arch, partitioner=partitioner,
                 deadline=deadline,
                 label=f"{prefix}{arch.name}/{plabel}{tag}"))
         return out

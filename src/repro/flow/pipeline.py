@@ -249,19 +249,60 @@ class StageCache:
         with self._lock:
             self._entries.clear()
 
-    def stats(self) -> dict:
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot marking the start of a measurement window.
+
+        Pass the returned mapping to :meth:`stats` as ``since`` to get
+        the *delta* view of everything that happened after this call.
+        Benchmarks use this to report a warm re-sweep's hit rate
+        honestly: the lifetime counters accumulate across the cold and
+        warm passes (a fully-warm pass reads ~0.5 overall), while the
+        windowed view isolates the warm pass itself (~1.0).
+        """
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+    def stats(self, since: Mapping[str, int] | None = None) -> dict:
         """Consistent snapshot of occupancy and hit counters.
 
         Batch sweeps sharing one cache across worker threads read this
         for their reports; taking the lock keeps the numbers coherent
-        mid-sweep.
+        mid-sweep.  With ``since`` (a :meth:`snapshot`), the hit/miss
+        counters and the hit rate cover only the window after the
+        snapshot was taken; occupancy is always current.
         """
         with self._lock:
-            total = self.hits + self.misses
+            hits, misses = self.hits, self.misses
+            if since is not None:
+                hits -= since["hits"]
+                misses -= since["misses"]
+            total = hits + misses
             return {"entries": len(self._entries),
                     "max_entries": self.max_entries,
-                    "hits": self.hits, "misses": self.misses,
-                    "hit_rate": round(self.hits / total, 4) if total else 0.0}
+                    "hits": hits, "misses": misses,
+                    "hit_rate": round(hits / total, 4) if total else 0.0}
+
+    @staticmethod
+    def merge_stats(stats: Iterable[Mapping]) -> dict:
+        """Aggregate several :meth:`stats` dicts into one summary.
+
+        Sharded sweeps run one cache per worker process; the reduce
+        stage merges their per-shard windows into a single sweep-wide
+        report.  Counters and occupancy are summed (the caches are
+        disjoint), the hit rate is recomputed over the merged counters,
+        and ``caches`` records how many views were merged.
+        """
+        merged = {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0}
+        caches = 0
+        for entry in stats:
+            caches += 1
+            for key in ("entries", "max_entries", "hits", "misses"):
+                merged[key] += entry.get(key, 0)
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = round(merged["hits"] / total, 4) if total \
+            else 0.0
+        merged["caches"] = caches
+        return merged
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,532 @@
+"""Sharded map-reduce sweeps on a real multi-core backend.
+
+The thread backend buys isolation, not speed (pure Python, GIL), and a
+naive process pool pickles a ~75 KB :class:`~repro.flow.cool.FlowResult`
+back per sub-second job -- so before this module a big sweep was serial
+in all but name.  Following the map-reduce decomposition of parallel
+controller synthesis (Alimguzhin et al., arXiv:1210.2276), a sweep here
+is three explicit stages:
+
+**plan**
+    :class:`ShardPlanner` partitions the suite into shards
+    *deterministically by content fingerprint*: a job's shard depends
+    only on what the job computes (design, architecture, engine, knobs),
+    never on its position in the suite or the worker count of the run.
+    Every shard records the fingerprints of its members, so the reduce
+    stage can verify that what came back is what was planned.
+
+**map**
+    Each shard runs in a worker process of a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Job payloads are
+    compact and picklable -- ideally a
+    :class:`~repro.workloads.WorkloadSpec` whose graph is built
+    in-worker -- and each worker process owns one
+    :class:`~repro.flow.pipeline.StageCache`, initialized once and
+    reused across every shard it executes.  Workers return
+    :class:`JobSummary` values (a :class:`~repro.flow.batch.DesignPoint`
+    plus error/timing/cache evidence), never fat flow artifacts.
+
+**reduce**
+    Per-shard outcomes are verified against the plan (tampered, stale
+    or incomplete shard results raise :class:`ShardError`), reassembled
+    into suite order, and the per-shard Pareto fronts, stage-cache
+    windows and timings are merged into one sweep-wide view.  The merged
+    result is bit-identical to the ``"serial"`` backend: same outcomes,
+    same Pareto front, same ranking order, for any shard count and any
+    map order.
+
+Entry points: ``BatchRunner(backend="shard", shards=...)`` for the
+streaming job API, :func:`map_reduce_sweep` for the one-call sweep that
+returns a :class:`SweepResult` (an
+:class:`~repro.flow.batch.ExplorationResult` whose ``pareto()`` is
+served by the merged per-shard fronts).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..fingerprint import content_hash
+from ..graph.taskgraph import TaskGraph
+from ..partition.base import Partitioner
+from ..platform.architecture import TargetArchitecture
+from ..workloads.generators import WorkloadSpec
+from .batch import (DesignPoint, ExplorationResult, FlowJob, JobOutcome,
+                    ProgressCallback, _run_outcome, design_point_of,
+                    payload_check)
+from .pipeline import StageCache
+
+__all__ = ["ShardError", "JobPayload", "JobSummary", "Shard",
+           "ShardPlanner", "ShardOutcome", "ShardSweepStats", "SweepResult",
+           "run_shard", "reduce_shards", "sharded_sweep", "map_reduce_sweep",
+           "DEFAULT_WORKER_CACHE_ENTRIES"]
+
+#: Capacity of the per-worker-process stage cache (entries, not bytes).
+DEFAULT_WORKER_CACHE_ENTRIES = 2048
+
+
+class ShardError(RuntimeError):
+    """Raised when shard results cannot be soundly reduced: a shard
+    outcome that does not match the plan (tampered/stale), covers the
+    wrong jobs, or arrives for a shard that was never planned."""
+
+
+# ----------------------------------------------------------------------
+# payloads: what crosses the process boundary on the way in
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobPayload:
+    """Compact, picklable description of one sweep job.
+
+    This is the *whole* submission: spec-based designs are built inside
+    the worker, the partitioner is reconstructed per job by deep copy
+    (identical RNG start to the serial backend), and everything here
+    must already have passed :func:`~repro.flow.batch.payload_check`.
+    ``index`` pins the job's position in the suite so the reduce stage
+    can restore input order; it does not participate in the fingerprint.
+    """
+
+    index: int
+    label: str
+    workload: WorkloadSpec | None
+    graph: TaskGraph | None
+    arch: TargetArchitecture
+    partitioner: Partitioner | None
+    deadline: int | None
+    stimuli: Mapping[str, list[int]] | None
+    reuse_memory: bool
+    allow_direct_comm: bool
+
+    def fingerprint(self) -> str:
+        """Content hash of what the job *computes* (not where it sits).
+
+        Shard assignment keys on this, so a design keeps its shard when
+        the suite is reordered or extended -- and so the reduce stage
+        can detect a shard outcome that answers a different plan.
+        """
+        design = self.workload.fingerprint() if self.workload is not None \
+            else self.graph.fingerprint()
+        engine = self.partitioner.fingerprint() \
+            if self.partitioner is not None else None
+        stimuli = tuple(sorted((name, tuple(values))
+                               for name, values in self.stimuli.items())) \
+            if self.stimuli is not None else None
+        return content_hash(("job", design, self.arch.fingerprint(), engine,
+                             self.deadline, stimuli, self.reuse_memory,
+                             self.allow_direct_comm))
+
+    def to_job(self) -> FlowJob:
+        """The equivalent :class:`FlowJob`, run through the exact same
+        code path as the serial backend (bit-identical by construction)."""
+        return FlowJob(graph=self.graph, workload=self.workload,
+                       arch=self.arch, partitioner=self.partitioner,
+                       deadline=self.deadline, stimuli=self.stimuli,
+                       reuse_memory=self.reuse_memory,
+                       allow_direct_comm=self.allow_direct_comm,
+                       label=self.label)
+
+
+def payload_of(job: FlowJob, index: int) -> JobPayload:
+    """Reduce a :class:`FlowJob` to its compact shard payload."""
+    return JobPayload(index=index, label=job.name, workload=job.workload,
+                      graph=job.graph, arch=job.arch,
+                      partitioner=job.partitioner, deadline=job.deadline,
+                      stimuli=job.stimuli, reuse_memory=job.reuse_memory,
+                      allow_direct_comm=job.allow_direct_comm)
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One planned unit of map work: an ordered slice of the suite."""
+
+    index: int
+    payloads: tuple[JobPayload, ...]
+
+    @property
+    def job_indices(self) -> tuple[int, ...]:
+        return tuple(p.index for p in self.payloads)
+
+    def fingerprint(self) -> str:
+        """Hash of the member fingerprints *in order* -- the contract a
+        worker's :class:`ShardOutcome` must echo to be reducible."""
+        return content_hash(("shard", self.index,
+                             tuple(p.fingerprint() for p in self.payloads)))
+
+
+class ShardPlanner:
+    """Deterministic suite partitioner: content fingerprint -> shard.
+
+    ``assign`` buckets a payload by its fingerprint modulo the shard
+    count, so the plan is a pure function of (suite content, shard
+    count): independent of suite order, worker count and map order.
+    Within a shard, jobs keep suite order -- together with the
+    restore-by-index reduce this is what makes the sharded sweep
+    bit-identical to the serial backend.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ShardError(f"need shards >= 1, got {shards}")
+        self.shards = shards
+
+    def assign(self, payload: JobPayload) -> int:
+        return int(payload.fingerprint(), 16) % self.shards
+
+    def plan(self, payloads: Sequence[JobPayload]) -> list[Shard]:
+        """Partition ``payloads`` into at most ``shards`` non-empty shards."""
+        buckets: list[list[JobPayload]] = [[] for _ in range(self.shards)]
+        for payload in sorted(payloads, key=lambda p: p.index):
+            buckets[self.assign(payload)].append(payload)
+        return [Shard(i, tuple(bucket))
+                for i, bucket in enumerate(buckets) if bucket]
+
+
+# ----------------------------------------------------------------------
+# map: what crosses the process boundary on the way back
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSummary:
+    """Compact result of one job, as shipped back by a shard worker.
+
+    ``point`` is the ranked projection (None for failed jobs);
+    ``stage_runs`` counts pipeline stages that actually executed (0 =
+    fully served by the worker's cache).  Nothing here references flow
+    artifacts, so a summary pickles in a few hundred bytes.
+    """
+
+    index: int
+    label: str
+    point: DesignPoint | None
+    error: str | None
+    seconds: float
+    stage_runs: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Everything one worker returns for one shard.
+
+    Echoes the shard's planned fingerprint and job coverage so the
+    reduce stage can verify integrity, and carries the shard-window
+    view of the worker's cache (a :meth:`StageCache.stats` delta) plus
+    the in-worker wall clock.  ``front_indices`` are the shard-local
+    Pareto candidates (job indices) the reduce stage merges.
+    """
+
+    shard_index: int
+    fingerprint: str
+    summaries: tuple[JobSummary, ...]
+    seconds: float
+    cache_stats: dict
+    pid: int
+    front_indices: tuple[int, ...] = ()
+
+
+#: Per-process state of a shard worker: one stage cache, initialized
+#: once per process and shared by every shard the process executes.
+_WORKER_CACHE: StageCache | None = None
+
+
+def _init_worker(max_entries: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = StageCache(max_entries=max_entries)
+
+
+def _worker_cache() -> StageCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:  # direct in-process call (tests, serial use)
+        _WORKER_CACHE = StageCache(max_entries=DEFAULT_WORKER_CACHE_ENTRIES)
+    return _WORKER_CACHE
+
+
+def run_shard(shard: Shard,
+              job_timeout: float | None = None) -> ShardOutcome:
+    """Execute one shard against the worker-local cache (the map body).
+
+    Jobs run through the same :func:`~repro.flow.batch._run_outcome`
+    path as the serial backend; only the compact summary leaves the
+    worker.  ``job_timeout`` follows the shard entry of
+    :data:`~repro.flow.batch.JOB_TIMEOUT_SEMANTICS`: checked when each
+    job returns, expired jobs are reported failed and their results
+    discarded, and the shard continues.
+    """
+    cache = _worker_cache()
+    window = cache.snapshot()
+    started = time.perf_counter()
+    summaries: list[JobSummary] = []
+    for payload in shard.payloads:
+        outcome = _run_outcome(payload.to_job(), cache)
+        error = outcome.error
+        if error is None and job_timeout is not None \
+                and outcome.seconds >= job_timeout:
+            error = (f"TimeoutError: job exceeded {job_timeout}s budget "
+                     f"(shard backend is non-preemptive: the job ran to "
+                     f"completion in {outcome.seconds:.3f}s and its result "
+                     f"was discarded)")
+        point = None
+        stage_runs = 0
+        if error is None:
+            point = design_point_of(outcome.result, payload.label,
+                                    payload.deadline)
+            stage_runs = sum(outcome.result.stage_runs.values())
+        summaries.append(JobSummary(index=payload.index, label=payload.label,
+                                    point=point, error=error,
+                                    seconds=outcome.seconds,
+                                    stage_runs=stage_runs))
+    # shard-local Pareto candidates: the reduce stage merges these
+    # instead of recomputing dominance over every point from scratch
+    points = [s.point for s in summaries if s.point is not None]
+    front = set(ExplorationResult(points=points).pareto())
+    front_indices = tuple(s.index for s in summaries
+                          if s.point is not None and s.point in front)
+    return ShardOutcome(shard_index=shard.index,
+                        fingerprint=shard.fingerprint(),
+                        summaries=tuple(summaries),
+                        seconds=time.perf_counter() - started,
+                        cache_stats=cache.stats(since=window),
+                        pid=os.getpid(),
+                        front_indices=front_indices)
+
+
+# ----------------------------------------------------------------------
+# reduce
+# ----------------------------------------------------------------------
+def _check_shard_outcome(shard: Shard, outcome: ShardOutcome) -> None:
+    """Verify one shard outcome against its plan entry (tamper guard)."""
+    planned = shard.fingerprint()
+    if outcome.fingerprint != planned:
+        raise ShardError(
+            f"shard {shard.index} outcome does not match the plan "
+            f"(got fingerprint {outcome.fingerprint}, planned {planned}): "
+            f"tampered or stale shard result")
+    if tuple(s.index for s in outcome.summaries) != shard.job_indices:
+        raise ShardError(
+            f"shard {shard.index} outcome covers jobs "
+            f"{[s.index for s in outcome.summaries]} but the plan assigns "
+            f"{list(shard.job_indices)}: tampered or incomplete shard result")
+
+
+def reduce_shards(plan: Sequence[Shard],
+                  outcomes: Iterable[ShardOutcome],
+                  failures: Mapping[int, str] | None = None,
+                  ) -> tuple[dict[int, JobSummary], dict, tuple[int, ...]]:
+    """Merge per-shard outcomes into suite-wide views (the reduce body).
+
+    Every planned shard must be accounted for, either by a verified
+    :class:`ShardOutcome` or by an entry in ``failures`` (worker died);
+    anything else -- unknown shards, duplicates, fingerprint or coverage
+    mismatches -- raises :class:`ShardError`.  Returns the summaries
+    keyed by job index (failed shards synthesize failed summaries for
+    their jobs), the merged cache statistics, and the union of the
+    shard-local Pareto candidate indices.
+    """
+    failures = dict(failures or {})
+    by_index = {shard.index: shard for shard in plan}
+    summaries: dict[int, JobSummary] = {}
+    cache_views = []
+    front: list[int] = []
+    seen: set[int] = set()
+    for outcome in outcomes:
+        shard = by_index.get(outcome.shard_index)
+        if shard is None:
+            raise ShardError(f"outcome for unplanned shard "
+                             f"{outcome.shard_index}")
+        if outcome.shard_index in seen:
+            raise ShardError(f"duplicate outcome for shard "
+                             f"{outcome.shard_index}")
+        seen.add(outcome.shard_index)
+        _check_shard_outcome(shard, outcome)
+        for summary in outcome.summaries:
+            summaries[summary.index] = summary
+        cache_views.append(outcome.cache_stats)
+        front.extend(outcome.front_indices)
+    for shard in plan:
+        if shard.index in seen:
+            continue
+        error = failures.get(shard.index)
+        if error is None:
+            raise ShardError(f"planned shard {shard.index} produced no "
+                             f"outcome and no recorded failure")
+        for payload in shard.payloads:
+            summaries[payload.index] = JobSummary(
+                index=payload.index, label=payload.label, point=None,
+                error=f"ShardError: shard {shard.index} worker failed: "
+                      f"{error}",
+                seconds=0.0, stage_runs=0)
+    return summaries, StageCache.merge_stats(cache_views), tuple(front)
+
+
+@dataclass
+class ShardSweepStats:
+    """Map-reduce evidence of one sharded sweep."""
+
+    #: Per-shard rows: index, jobs, in-worker seconds, worker pid and
+    #: the shard-window cache view.
+    shards: list[dict] = field(default_factory=list)
+    #: Merged cache statistics across every shard window
+    #: (:meth:`StageCache.merge_stats`).
+    cache: dict = field(default_factory=dict)
+    map_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    workers: int = 0
+    planned_shards: int = 0
+    #: Job indices of the merged per-shard Pareto candidates.
+    front_candidates: tuple[int, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# the sweep engine
+# ----------------------------------------------------------------------
+def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
+                  max_workers: int | None = None,
+                  job_timeout: float | None = None,
+                  progress: ProgressCallback | None = None,
+                  map_order: str = "planned",
+                  ) -> tuple[list[JobOutcome], ShardSweepStats]:
+    """Plan, map and reduce a sweep; outcomes come back in input order.
+
+    Backs ``BatchRunner(backend="shard")``.  Jobs failing
+    :func:`~repro.flow.batch.payload_check` become failed outcomes at
+    submission time (never planned); ``map_order`` ("planned" or
+    "reversed") controls shard submission order and exists to *prove*
+    order independence -- results are identical either way.  Progress
+    streams per job, in shard completion order.
+    """
+    if map_order not in ("planned", "reversed"):
+        raise ShardError(f"unknown map order {map_order!r}")
+    jobs = list(jobs)
+    total = len(jobs)
+    outcomes: list[JobOutcome | None] = [None] * total
+    done_count = 0
+
+    def emit(index: int, outcome: JobOutcome) -> None:
+        nonlocal done_count
+        outcomes[index] = outcome
+        done_count += 1
+        if progress is not None:
+            progress(outcome, done_count, total)
+
+    # submission-time validation: un-shippable jobs fail fast, named
+    payloads: list[JobPayload] = []
+    for index, job in enumerate(jobs):
+        error = payload_check(job)
+        if error is not None:
+            emit(index, JobOutcome(job, error=error))
+        else:
+            payloads.append(payload_of(job, index))
+
+    n_shards = shards or max_workers or os.cpu_count() or 1
+    plan = ShardPlanner(n_shards).plan(payloads)
+    workers = max_workers or os.cpu_count() or 1
+    workers = max(1, min(workers, len(plan) or 1))
+    stats = ShardSweepStats(workers=workers, planned_shards=len(plan))
+
+    shard_outcomes: list[ShardOutcome] = []
+    failures: dict[int, str] = {}
+    map_started = time.perf_counter()
+    if plan:
+        order = list(plan) if map_order == "planned" \
+            else list(reversed(plan))
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(DEFAULT_WORKER_CACHE_ENTRIES,)) as pool:
+            shard_of = {pool.submit(run_shard, shard, job_timeout): shard
+                        for shard in order}
+            for future in as_completed(shard_of):
+                shard = shard_of[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # worker/pool death: fail the shard
+                    failures[shard.index] = f"{type(exc).__name__}: {exc}"
+                    continue
+                shard_outcomes.append(outcome)
+                # stream per-job progress as each shard completes; the
+                # reduce below re-verifies the full plan coverage
+                _check_shard_outcome(shard, outcome)
+                for summary in outcome.summaries:
+                    emit(summary.index, JobOutcome(
+                        jobs[summary.index], error=summary.error,
+                        seconds=summary.seconds, point=summary.point))
+    stats.map_seconds = time.perf_counter() - map_started
+
+    reduce_started = time.perf_counter()
+    summaries, stats.cache, stats.front_candidates = \
+        reduce_shards(plan, shard_outcomes, failures)
+    for index, summary in summaries.items():
+        if outcomes[index] is None:  # jobs of failed shards
+            emit(index, JobOutcome(jobs[index], error=summary.error,
+                                   seconds=summary.seconds,
+                                   point=summary.point))
+    stats.shards = [{"shard": o.shard_index, "jobs": len(o.summaries),
+                     "seconds": round(o.seconds, 6), "pid": o.pid,
+                     "cache": o.cache_stats}
+                    for o in sorted(shard_outcomes,
+                                    key=lambda o: o.shard_index)]
+    stats.reduce_seconds = time.perf_counter() - reduce_started
+    assert all(o is not None for o in outcomes)
+    return outcomes, stats  # type: ignore[return-value]
+
+
+@dataclass
+class SweepResult(ExplorationResult):
+    """An exploration whose Pareto front is reduce-merged across shards.
+
+    ``pareto()`` filters the union of the per-shard candidate fronts
+    instead of re-testing dominance over every point -- the classic
+    Pareto merge, which provably yields the same front (a globally
+    non-dominated point is non-dominated in its shard; a dominated
+    point is dominated by some candidate, by transitivity).  The result
+    is bit-identical to :meth:`ExplorationResult.pareto` on the same
+    points, which the shard determinism tests assert.
+    """
+
+    shard_stats: ShardSweepStats | None = None
+    front_candidates: list[DesignPoint] = field(default_factory=list)
+
+    def pareto(self) -> list[DesignPoint]:
+        if not self.front_candidates:
+            return super().pareto()
+        candidates = set(self.front_candidates)
+        by_graph: dict[str, list[DesignPoint]] = {}
+        for point in self.front_candidates:
+            by_graph.setdefault(point.graph, []).append(point)
+        return [p for p in self.feasible_points()
+                if p in candidates
+                and not any(q.dominates(p) for q in by_graph[p.graph])]
+
+
+def map_reduce_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
+                     max_workers: int | None = None,
+                     job_timeout: float | None = None,
+                     progress: ProgressCallback | None = None,
+                     map_order: str = "planned") -> SweepResult:
+    """One-call sharded sweep: jobs in, ranked :class:`SweepResult` out."""
+    from .batch import _point_from
+    outcomes, stats = sharded_sweep(jobs, shards=shards,
+                                    max_workers=max_workers,
+                                    job_timeout=job_timeout,
+                                    progress=progress, map_order=map_order)
+    result = SweepResult(outcomes=outcomes, shard_stats=stats)
+    point_of_index: dict[int, DesignPoint] = {}
+    for index, outcome in enumerate(outcomes):
+        if outcome.ok:
+            point = _point_from(outcome)
+            result.points.append(point)
+            point_of_index[index] = point
+        else:
+            result.failures.append(outcome)
+    result.front_candidates = [point_of_index[i]
+                               for i in stats.front_candidates
+                               if i in point_of_index]
+    return result

@@ -64,6 +64,16 @@ class WorkloadSpec:
         """Short family tag, e.g. ``"layered"``."""
         raise NotImplementedError
 
+    @property
+    def label(self) -> str:
+        """Compact display name without building the graph.
+
+        Suite specs carry distinct seeds (:func:`workload_suite`), so
+        the label is unique within a suite -- sweep drivers use it to
+        name spec-based jobs whose graphs are only built in-worker.
+        """
+        return f"{self.family}_s{self.seed}"
+
     def fingerprint(self) -> str:
         """Stable content hash of the family, generator version and knobs."""
         config = tuple((f.name, repr(getattr(self, f.name)))

@@ -6,8 +6,9 @@ import time
 import pytest
 
 from repro.apps import four_band_equalizer, fuzzy_controller
-from repro.flow import (BatchRunner, CoolFlow, DesignSpaceExplorer, FlowJob,
-                        StageCache)
+from repro.flow import (JOB_TIMEOUT_SEMANTICS, BatchRunner, CoolFlow,
+                        DesignSpaceExplorer, FlowJob, StageCache,
+                        payload_check)
 from repro.graph import TaskGraph, execute
 from repro.partition import GreedyPartitioner, MilpPartitioner
 from repro.platform import cool_board, minimal_board
@@ -242,6 +243,94 @@ class TestStreamingRunner:
         outcome = BatchRunner(max_workers=2, backend="process").run([job])[0]
         assert not outcome.ok
         assert "pickle" in outcome.error.lower()
+
+    def test_process_rejects_unpicklable_payload_at_submission(self):
+        # satellite: the poison is caught *before* the pool sees the job,
+        # with the offending field named -- not a mid-sweep TypeError
+        bad = FlowJob(graph=four_band_equalizer(words=8),
+                      arch=minimal_board(),
+                      partitioner=UnpicklablePartitioner(), label="bad")
+        error = payload_check(bad)
+        assert error is not None
+        assert "partitioner" in error
+        assert "pickle" in error.lower()
+        assert payload_check(_jobs()[0]) is None
+        events = []
+        outcomes = BatchRunner(max_workers=2, backend="process").run(
+            [bad] + _jobs()[:1],
+            progress=lambda o, d, t: events.append(o.job.label))
+        assert not outcomes[0].ok and "partitioner" in outcomes[0].error
+        assert outcomes[1].ok
+        assert events[0] == "bad", "rejection must stream before any result"
+
+    def test_process_expired_straggler_fails_and_sweep_continues(self):
+        # satellite: expired-straggler path on the *process* backend --
+        # the straggler becomes a failed outcome with a reason while the
+        # fast job still completes
+        equalizer = four_band_equalizer(words=8)
+        jobs = [FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=SleepyPartitioner(2.5), label="slow"),
+                FlowJob(graph=equalizer, arch=minimal_board(),
+                        partitioner=GreedyPartitioner(), label="fast")]
+        started = time.perf_counter()
+        outcomes = BatchRunner(max_workers=2, backend="process",
+                               job_timeout=0.5).run(jobs)
+        elapsed = time.perf_counter() - started
+        assert not outcomes[0].ok
+        assert "Timeout" in outcomes[0].error
+        assert "budget" in outcomes[0].error
+        assert outcomes[1].ok, outcomes[1].error
+        assert elapsed < 2.2, "sweep must not wait out the straggler"
+
+    def test_timeout_semantics_documented_per_backend(self):
+        # one authoritative record; every accepted backend has an entry
+        for backend in ("serial", "thread", "process", "shard"):
+            BatchRunner(backend=backend)
+            assert backend in JOB_TIMEOUT_SEMANTICS
+            assert len(JOB_TIMEOUT_SEMANTICS[backend]) > 20
+
+
+class TestSpecBasedJobs:
+    def test_exactly_one_design_source_required(self):
+        arch = minimal_board()
+        spec = workload_suite(1, seed=5)[0]
+        graph = four_band_equalizer(words=8)
+        with pytest.raises(ValueError, match="exactly one design source"):
+            FlowJob(arch=arch)
+        with pytest.raises(ValueError, match="exactly one design source"):
+            FlowJob(graph=graph, workload=spec, arch=arch)
+        with pytest.raises(ValueError, match="architecture"):
+            FlowJob(graph=graph)
+
+    def test_spec_job_matches_built_graph_job(self):
+        arch = minimal_board()
+        spec = workload_suite(1, seed=5)[0]
+        by_spec = BatchRunner(backend="serial").run(
+            [FlowJob(workload=spec, arch=arch,
+                     partitioner=GreedyPartitioner())])[0]
+        by_graph = BatchRunner(backend="serial").run(
+            [FlowJob(graph=spec.build(), arch=arch,
+                     partitioner=GreedyPartitioner())])[0]
+        assert by_spec.ok and by_graph.ok
+        assert by_spec.result.report() == by_graph.result.report()
+
+    def test_spec_job_names_use_label(self):
+        arch = minimal_board()
+        spec = workload_suite(1, seed=5)[0]
+        job = FlowJob(workload=spec, arch=arch,
+                      partitioner=GreedyPartitioner())
+        assert job.design_name == spec.label
+        assert job.name.startswith(spec.label)
+
+    def test_explorer_accepts_spec_entries(self):
+        specs = workload_suite(2, seed=9)
+        explorer = DesignSpaceExplorer(
+            specs, [minimal_board()], [GreedyPartitioner()],
+            runner=BatchRunner(backend="serial"))
+        result = explorer.explore()
+        assert len(result.points) == 2
+        assert {p.label.split("@")[0] for p in result.points} == \
+            {s.label for s in specs}
 
 
 class TestDesignSpaceExplorer:

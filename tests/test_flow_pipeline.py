@@ -193,6 +193,38 @@ class TestPipelineExecutor:
         assert cache.get("s", ("a",)) is None
         assert cache.get("s", ("b",)) is not None
 
+    def test_snapshot_delta_reports_window_honestly(self):
+        # a fully-warm re-sweep must report hit_rate 1.0 for its own
+        # window, not ~0.5 diluted by the cold pass that came before
+        cache = StageCache()
+        cache.put("s", ("a",), {"k": (1, "fp")})
+        cache.get("s", ("miss",))
+        cache.get("s", ("a",))
+        assert cache.stats()["hit_rate"] == 0.5
+        window = cache.snapshot()
+        cache.get("s", ("a",))
+        cache.get("s", ("a",))
+        warm = cache.stats(since=window)
+        assert warm["hits"] == 2
+        assert warm["misses"] == 0
+        assert warm["hit_rate"] == 1.0
+        # lifetime view unchanged by windowing
+        assert cache.stats()["hits"] == 3
+
+    def test_merge_stats_across_caches(self):
+        views = [{"entries": 10, "max_entries": 64, "hits": 8, "misses": 2},
+                 {"entries": 5, "max_entries": 64, "hits": 0, "misses": 5}]
+        merged = StageCache.merge_stats(views)
+        assert merged["entries"] == 15
+        assert merged["hits"] == 8 and merged["misses"] == 7
+        assert merged["hit_rate"] == round(8 / 15, 4)
+        assert merged["caches"] == 2
+
+    def test_merge_stats_of_nothing(self):
+        merged = StageCache.merge_stats([])
+        assert merged["caches"] == 0
+        assert merged["hit_rate"] == 0.0
+
 
 class _AllHardware(Partitioner):
     """Force every internal node onto the first FPGA (ignores area)."""
