@@ -24,12 +24,12 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (apps, automata, codegen, comm, controllers, estimate, flow,
-               graph, hls, partition, platform, schedule, sim, spec, stg,
-               workloads)  # noqa: F401
+from . import (analysis, apps, automata, codegen, comm, controllers,
+               estimate, flow, graph, hls, partition, platform, schedule,
+               sim, spec, stg, workloads)  # noqa: F401
 
 __all__ = [
-    "apps", "automata", "codegen", "comm", "controllers", "estimate",
-    "flow", "graph", "hls", "partition", "platform", "schedule", "sim",
-    "spec", "stg", "workloads", "__version__",
+    "analysis", "apps", "automata", "codegen", "comm", "controllers",
+    "estimate", "flow", "graph", "hls", "partition", "platform",
+    "schedule", "sim", "spec", "stg", "workloads", "__version__",
 ]

@@ -1,0 +1,124 @@
+"""Baseline files: grandfathered findings with written rationales.
+
+A baseline entry pins one *intentional* finding so the gate stays green
+without silencing the rule globally.  Entries match on ``(rule, path,
+normalized source line text)`` -- not on line numbers -- so unrelated
+edits moving code around do not invalidate them, while any change to
+the flagged line itself re-surfaces the finding for review.
+
+Every entry must carry a non-empty ``reason``; a reason-less entry is
+reported as ``LNT004`` and matches nothing.  ``--write-baseline``
+regenerates the file from the current findings, preserving reasons of
+surviving entries and leaving new ones with an empty reason the author
+must fill in before the gate passes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .findings import Finding
+
+__all__ = ["Baseline", "write_baseline", "line_text_of"]
+
+
+def _normalize(text: str) -> str:
+    """Whitespace-insensitive form of a source line."""
+    return " ".join(text.split())
+
+
+def line_text_of(finding: Finding, sources: Mapping[str, str]) -> str:
+    """Normalized text of the flagged source line."""
+    source = sources.get(finding.path)
+    if source is None:
+        return ""
+    lines = source.splitlines()
+    if 1 <= finding.line <= len(lines):
+        return _normalize(lines[finding.line - 1])
+    return ""
+
+
+class Baseline:
+    """Loaded baseline entries plus match bookkeeping for one run."""
+
+    def __init__(self, entries: list[dict], path: str = "") -> None:
+        self.path = path
+        self.entries = entries
+        self.problems: list[Finding] = []
+        self._matched: set[int] = set()
+        self._by_key: dict[tuple[str, str, str], list[int]] = {}
+        for position, entry in enumerate(entries):
+            key = (entry.get("rule", ""), entry.get("path", ""),
+                   _normalize(entry.get("line_text", "")))
+            if not str(entry.get("reason", "")).strip():
+                self.problems.append(Finding(
+                    path=entry.get("path", path or "<baseline>"),
+                    line=0, column=0, rule="LNT004",
+                    message=f"baseline entry for {entry.get('rule')} at "
+                            f"{entry.get('path')} has no reason -- every "
+                            f"grandfathered finding must say why it is "
+                            f"intentional",
+                    hint=f"fill in the empty \"reason\" in "
+                         f"{path or 'the'} baseline file"))
+                continue
+            self._by_key.setdefault(key, []).append(position)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = data["findings"] if isinstance(data, dict) else data
+        return cls(entries, path=str(path))
+
+    # ------------------------------------------------------------------
+    def matches(self, finding: Finding, line_text: str) -> bool:
+        """Consume one baseline entry for ``finding`` if one is left."""
+        key = (finding.rule, finding.path, _normalize(line_text))
+        positions = self._by_key.get(key)
+        if not positions:
+            return False
+        self._matched.add(positions.pop(0))
+        return True
+
+    def unmatched(self) -> list[dict]:
+        """Entries (with reasons) that matched no current finding."""
+        return [entry for position, entry in enumerate(self.entries)
+                if position not in self._matched
+                and str(entry.get("reason", "")).strip()]
+
+
+def write_baseline(findings: list[Finding], path: str | Path,
+                   sources: Mapping[str, str],
+                   previous: Baseline | None = None) -> int:
+    """Persist ``findings`` as the new baseline; returns the entry count.
+
+    Reasons of entries that still match are carried over; new entries
+    get an empty reason the author must write before the gate passes.
+    """
+    carried: dict[tuple[str, str, str], list[str]] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            key = (entry.get("rule", ""), entry.get("path", ""),
+                   _normalize(entry.get("line_text", "")))
+            reason = str(entry.get("reason", "")).strip()
+            if reason:
+                carried.setdefault(key, []).append(reason)
+    entries = []
+    for finding in sorted(findings):
+        line_text = line_text_of(finding, sources)
+        key = (finding.rule, finding.path, line_text)
+        reasons = carried.get(key)
+        entries.append({
+            "rule": finding.rule,
+            "path": finding.path,
+            "line_text": line_text,
+            "message": finding.message,
+            "reason": reasons.pop(0) if reasons else "",
+        })
+    payload = {"comment": "repro-lint baseline: grandfathered findings; "
+                          "every entry needs a written reason",
+               "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,129 @@
+"""Repo-specific knowledge the rules are parameterized on.
+
+Everything the rule bodies need to know about *this* codebase -- which
+classes are shard payloads, which are immutable kernel objects, which
+names seed fingerprint reachability -- lives here, so the rule logic
+itself stays generic and the contract is auditable in one place.  Each
+entry names the invariant it encodes; ``docs/INVARIANTS.md`` carries
+the long-form rationale per rule ID.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FINGERPRINT_SEED_NAMES", "NONDETERMINISTIC_MODULES",
+    "NONDETERMINISTIC_BUILTINS", "SEEDED_RANDOM_FACTORIES",
+    "ORDER_INSENSITIVE_CONSUMERS",
+    "PAYLOAD_CLASSES", "PAYLOAD_SAFE_TYPES", "PAYLOAD_ATOMS",
+    "KERNEL_CLASSES", "KERNEL_BUILDER_METHODS", "KERNEL_MEMO_ATTRIBUTES",
+    "CONSTRUCTOR_METHODS", "STAGE_FACTORY_NAME", "MODULE_LEVEL_IO_CALLS",
+    "OS_ENVIRONMENT_READS",
+]
+
+# ---------------------------------------------------------------- DET
+#: Functions whose bodies (and same-module callees) must be
+#: deterministic: they feed the content fingerprints that key the stage
+#: cache and the shard planner.  Matched by bare function name; stage
+#: ``run`` bodies are discovered structurally from ``Stage(...)`` calls.
+FINGERPRINT_SEED_NAMES = frozenset({
+    "fingerprint", "fingerprint_of", "content_hash",
+})
+
+#: Modules whose call results vary across runs/processes.  Any
+#: attribute call on these inside fingerprint-reachable code is a DET
+#: finding (``random.Random(seed)`` with an explicit seed is exempt).
+NONDETERMINISTIC_MODULES = frozenset({
+    "time", "random", "uuid", "secrets", "datetime",
+})
+
+#: Builtins whose value depends on the process: memory addresses,
+#: siphash salting, interpreter environment.
+NONDETERMINISTIC_BUILTINS = frozenset({
+    "id", "hash", "vars", "globals", "locals", "input",
+})
+
+#: Callables that are deterministic *when explicitly seeded*:
+#: ``random.Random("stable-key")`` is the repo's sanctioned pattern.
+SEEDED_RANDOM_FACTORIES = frozenset({"Random"})
+
+#: ``os`` attributes that read the environment (per-host state).
+OS_ENVIRONMENT_READS = frozenset({"environ", "getenv", "urandom"})
+
+#: Callables that consume an iterable order-insensitively, so feeding
+#: them an unordered set is safe: ``sorted(set(...))`` is the fix DET101
+#: recommends, and these are the contexts where no fix is needed.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all",
+    "len", "Counter",
+})
+
+# ---------------------------------------------------------------- PKL
+#: Classes that cross the shard/process boundary by pickle.  Their
+#: fields must be statically picklable and compact -- the
+#: definition-time complement of the runtime ``payload_check``.
+#: Subclasses (the WorkloadSpec families) inherit the obligation.
+PAYLOAD_CLASSES = frozenset({
+    "JobPayload", "JobSummary", "Shard", "ShardOutcome", "DesignPoint",
+    "WorkloadSpec",
+})
+
+#: Domain classes allowed as payload field types: each is pickle-clean
+#: by construction and exercised by the shard round-trip tests
+#: (``tests/test_flow_shard.py``).  ``payload_check`` still guards the
+#: runtime hatch for exotic *instances* (e.g. a Partitioner subclass
+#: holding a lambda).
+PAYLOAD_SAFE_TYPES = frozenset({
+    "TaskGraph", "TargetArchitecture", "Partitioner", "WorkloadSpec",
+    "DesignPoint", "JobPayload", "JobSummary",
+})
+
+#: Builtin/typing atoms allowed in payload annotations.
+PAYLOAD_ATOMS = frozenset({
+    "int", "float", "str", "bool", "bytes", "None", "tuple", "frozenset",
+    "dict", "list", "Mapping", "Sequence", "Optional", "Union",
+})
+
+# ---------------------------------------------------------------- FRZ
+#: Kernel classes that are immutable once built (``Automaton``) or
+#: mutable only through their builder API (``Stg``/``Fsm``).  Policy:
+#: *strict* -- no external attribute writes at all; *internals* --
+#: external writes to underscore attributes are forbidden, public
+#: attributes are builder API.
+KERNEL_CLASSES: dict[str, str] = {
+    "Automaton": "strict",
+    "Stg": "internals",
+    "Fsm": "internals",
+}
+
+#: Per-class methods allowed to assign ``self`` attributes beyond the
+#: constructors: the sanctioned mutation API.
+KERNEL_BUILDER_METHODS: dict[str, frozenset[str]] = {
+    "Automaton": frozenset(),
+    "Stg": frozenset({"add_state", "add_transition"}),
+    "Fsm": frozenset({"add_state", "add_transition"}),
+}
+
+#: Derived caches a kernel class may fill lazily: each is invisible to
+#: equality and fingerprints (pure memo of already-frozen content), so
+#: writing it does not breach immutability.
+KERNEL_MEMO_ATTRIBUTES: dict[str, frozenset[str]] = {
+    "Automaton": frozenset({"_fingerprint", "_obs_summary"}),
+    "Stg": frozenset({"_automaton_cache"}),
+    "Fsm": frozenset({"_kernel_cache"}),
+}
+
+#: Methods of any class where attribute assignment (including the
+#: ``object.__setattr__`` escape hatch) is construction, not mutation.
+CONSTRUCTOR_METHODS = frozenset({
+    "__init__", "__post_init__", "__new__", "__setstate__",
+})
+
+# ---------------------------------------------------------------- PUR
+#: The pipeline stage constructor whose declared inputs/outputs the
+#: PUR rules check stage bodies against.
+STAGE_FACTORY_NAME = "Stage"
+
+#: Calls that perform I/O when executed at module import time.
+#: Importing a module must stay side-effect free: shard workers import
+#: the flow modules in every worker process.
+MODULE_LEVEL_IO_CALLS = frozenset({"open", "print", "exec", "eval"})

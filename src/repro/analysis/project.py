@@ -1,0 +1,120 @@
+"""Whole-tree first pass: the cross-file facts rules need.
+
+Single-file AST rules cannot know that ``JobPayload`` is a frozen
+dataclass defined in another module, or that ``LayeredDagSpec``
+subclasses ``WorkloadSpec``.  The :class:`ProjectIndex` is built once
+over every analyzed module and handed to each rule alongside the
+per-module context.
+
+Resolution is by *class name*: the repo keeps kernel and payload class
+names globally unique (enforced here -- a duplicate definition of an
+indexed name is reported as ``LNT002``), so no import resolution is
+needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .config import KERNEL_CLASSES, PAYLOAD_CLASSES
+from .findings import Finding
+
+__all__ = ["ClassInfo", "ProjectIndex", "dataclass_frozen"]
+
+
+@dataclass
+class ClassInfo:
+    """What the index records about one class definition."""
+
+    name: str
+    path: str
+    line: int
+    bases: tuple[str, ...]
+    is_dataclass: bool
+    frozen: bool
+    #: Annotated class-body fields: ``(name, annotation AST, line)``.
+    fields: list[tuple[str, ast.expr, int]] = field(default_factory=list)
+
+
+def dataclass_frozen(node: ast.ClassDef) -> tuple[bool, bool]:
+    """``(is_dataclass, frozen)`` from the decorator list."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", None)
+        if name != "dataclass":
+            continue
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "frozen" \
+                        and isinstance(keyword.value, ast.Constant):
+                    frozen = bool(keyword.value.value)
+        return True, frozen
+    return False, False
+
+
+class ProjectIndex:
+    """Class facts collected over every module before rules run."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        self.problems: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._add_class(path, node)
+
+    def _add_class(self, path: str, node: ast.ClassDef) -> None:
+        is_dc, frozen = dataclass_frozen(node)
+        info = ClassInfo(
+            name=node.name, path=path, line=node.lineno,
+            bases=tuple(base.id for base in node.bases
+                        if isinstance(base, ast.Name)),
+            is_dataclass=is_dc, frozen=frozen)
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) \
+                    and isinstance(statement.target, ast.Name):
+                info.fields.append((statement.target.id,
+                                    statement.annotation,
+                                    statement.lineno))
+        previous = self.classes.get(node.name)
+        if previous is not None:
+            if node.name in PAYLOAD_CLASSES or node.name in KERNEL_CLASSES:
+                self.problems.append(Finding(
+                    path=path, line=node.lineno, column=node.col_offset,
+                    rule="LNT002",
+                    message=f"class {node.name!r} shadows the indexed "
+                            f"definition at {previous.path}:{previous.line}; "
+                            f"payload/kernel class names must be unique",
+                    hint="rename one of the definitions"))
+            return
+        self.classes[node.name] = info
+
+    # ------------------------------------------------------------------
+    def payload_classes(self) -> list[ClassInfo]:
+        """Configured payload classes plus all their subclasses."""
+        names = set(PAYLOAD_CLASSES)
+        changed = True
+        while changed:  # transitive: spec families subclass WorkloadSpec
+            changed = False
+            for info in self.classes.values():
+                if info.name not in names \
+                        and any(base in names for base in info.bases):
+                    names.add(info.name)
+                    changed = True
+        return sorted((self.classes[name] for name in names
+                       if name in self.classes),
+                      key=lambda info: (info.path, info.line))
+
+    def payload_class_names(self) -> frozenset[str]:
+        return frozenset(info.name for info in self.payload_classes())
+
+    def frozen_dataclass_names(self) -> frozenset[str]:
+        """Every ``@dataclass(frozen=True)`` class seen in the tree."""
+        return frozenset(name for name, info in self.classes.items()
+                         if info.frozen)

@@ -1,0 +1,78 @@
+"""Rule registry: one decorator, one global table, stable ordering.
+
+A rule is a function ``(module: ModuleContext, index: ProjectIndex) ->
+Iterable[Finding]`` registered under a stable ID (``DET101``,
+``PKL202``, ...).  Families group rules for reporting and selection;
+the registry iterates in ID order so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import ModuleContext
+    from .project import ProjectIndex
+    from .findings import Finding
+
+__all__ = ["Rule", "rule", "all_rules", "rules_for", "families"]
+
+RuleBody = Callable[["ModuleContext", "ProjectIndex"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata plus body of one registered rule."""
+
+    id: str
+    summary: str
+    hint: str
+    body: RuleBody
+
+    @property
+    def family(self) -> str:
+        """Leading letters of the ID: ``DET101`` -> ``DET``."""
+        return "".join(c for c in self.id if c.isalpha())
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str, hint: str = ""
+         ) -> Callable[[RuleBody], RuleBody]:
+    """Register ``body`` under ``rule_id``; duplicate IDs are a bug."""
+
+    def register(body: RuleBody) -> RuleBody:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule ID {rule_id!r}")
+        _RULES[rule_id] = Rule(rule_id, summary, hint, body)
+        return body
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule in ID order (the execution order)."""
+    _load_rule_modules()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def rules_for(families_or_ids: Iterable[str] | None) -> list[Rule]:
+    """Rules selected by family tag (``DET``) or exact ID (``DET101``)."""
+    rules = all_rules()
+    if families_or_ids is None:
+        return rules
+    wanted = {token.strip().upper() for token in families_or_ids}
+    return [r for r in rules if r.id in wanted or r.family in wanted]
+
+
+def families() -> Iterator[str]:
+    """Distinct family tags in sorted order."""
+    seen = sorted({r.family for r in all_rules()})
+    return iter(seen)
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules exactly once (registration side effect)."""
+    from . import rules  # noqa: F401  (registers via decorators)

@@ -1,0 +1,11 @@
+"""Rule families: importing this package registers every rule.
+
+Each module registers its rules with the
+:func:`~repro.analysis.registry.rule` decorator as a side effect of
+import; :func:`~repro.analysis.registry.all_rules` imports this package
+lazily so the registry is always complete before the engine runs.
+"""
+
+from . import det, frz, pkl, pur  # noqa: F401  (registration imports)
+
+__all__ = ["det", "frz", "pkl", "pur"]

@@ -1,0 +1,133 @@
+"""Shared AST helpers for the rule families.
+
+Everything here is *syntactic* approximation: repro-lint has no type
+inference, so "is a set" means "is spelled as a set right here" and
+"is an instance of X" means "was constructed from ``X(...)`` or
+annotated ``X`` in this scope".  The rules err on the side of flagging
+only what they can see -- soundness holes are closed by convention and
+runtime checks, false positives by inline suppressions with reasons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["is_set_expr", "call_name", "root_name", "const_str_tuple",
+           "walk_scope", "function_defs", "annotation_class_names",
+           "scope_instance_classes"]
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference"})
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """Is ``node`` syntactically a set/frozenset value?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return is_set_expr(func.value)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return is_set_expr(node.left) or is_set_expr(node.right)
+    return False
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Bare name of a ``Name(...)`` call, else None."""
+    return node.func.id if isinstance(node.func, ast.Name) else None
+
+
+def root_name(node: ast.AST) -> str | None:
+    """Leftmost ``Name`` of an attribute chain: ``a.b.c`` -> ``a``."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def const_str_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    """The value of a literal tuple/list of string constants, else None."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                out.append(element.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/class defs.
+
+    The statements yielded are the ones executed when the scope itself
+    runs -- what call-graph edges and mutation checks should see.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def function_defs(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Every (sync) function/method definition in the module."""
+    return [node for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)]
+
+
+def annotation_class_names(annotation: ast.AST) -> set[str]:
+    """Class names a simple annotation mentions: ``X``, ``X | None``,
+    ``Optional[X]`` and string forms thereof."""
+    names: set[str] = set()
+    if isinstance(annotation, ast.Name):
+        names.add(annotation.id)
+    elif isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        for token in annotation.value.replace("|", " ").split():
+            if token.isidentifier():
+                names.add(token)
+    elif isinstance(annotation, ast.BinOp) \
+            and isinstance(annotation.op, ast.BitOr):
+        names |= annotation_class_names(annotation.left)
+        names |= annotation_class_names(annotation.right)
+    elif isinstance(annotation, ast.Subscript):
+        value = annotation.value
+        if isinstance(value, ast.Name) and value.id == "Optional":
+            names |= annotation_class_names(annotation.slice)
+    return names
+
+
+def scope_instance_classes(scope: ast.FunctionDef,
+                           tracked: frozenset[str] | set[str]
+                           ) -> dict[str, str]:
+    """Variables of ``scope`` known to hold instances of tracked classes.
+
+    Sources of knowledge: parameter annotations (``x: Stg``/``Stg |
+    None``) and direct constructor assignments (``x = Stg(...)``).
+    Purely local and flow-insensitive -- good enough for a linter.
+    """
+    classes: dict[str, str] = {}
+    args = scope.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if arg.annotation is not None:
+            for name in annotation_class_names(arg.annotation):
+                if name in tracked:
+                    classes[arg.arg] = name
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            constructed = call_name(node.value)
+            if constructed in tracked:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        classes[target.id] = constructed
+    return classes

@@ -1,0 +1,209 @@
+"""DET: determinism rules.
+
+Stage caching, shard planning and the bit-identical-to-serial contract
+of the map-reduce backend all rest on one property: everything a
+``fingerprint()`` hashes and every ordering that escapes into emitted
+artifacts must be a pure function of content.  Two ways that property
+has actually broken (or nearly broken) in this repo:
+
+* iteration order of a ``set`` escaping into an output ordering -- the
+  PR 4 product-label bug (BFS promised, LIFO delivered) was exactly an
+  undocumented-order escape;
+* process-varying values (``id``, siphash ``hash``, wall-clock,
+  unseeded RNG, environment reads) feeding fingerprint-reachable code,
+  which would silently split the shard plan across hosts.
+
+``DET101`` flags set-typed iteration whose order can escape, ``DET102``
+flags nondeterministic calls in fingerprint-reachable or stage-body
+code, ``DET103`` flags ``set.pop()`` (the arbitrary-element hatch).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from ..config import (FINGERPRINT_SEED_NAMES, NONDETERMINISTIC_BUILTINS,
+                      NONDETERMINISTIC_MODULES, ORDER_INSENSITIVE_CONSUMERS,
+                      OS_ENVIRONMENT_READS, SEEDED_RANDOM_FACTORIES,
+                      STAGE_FACTORY_NAME)
+from ..findings import Finding
+from ..registry import rule
+from .common import call_name, is_set_expr, root_name, walk_scope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ModuleContext
+    from ..project import ProjectIndex
+
+
+# ----------------------------------------------------------------------
+# DET101: unordered iteration whose order can escape
+# ----------------------------------------------------------------------
+@rule("DET101",
+      "set iteration order escapes into an ordered result",
+      "iterate `sorted(...)` instead, or suppress with the reason why "
+      "the order cannot escape")
+def det101_unordered_iteration(module: "ModuleContext",
+                               index: "ProjectIndex") -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For):
+            if is_set_expr(node.iter):
+                yield _det101_finding(module, node.iter, "for loop")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                if not is_set_expr(generator.iter):
+                    continue
+                if _order_insensitive_comprehension(module, node):
+                    continue
+                kind = type(node).__name__
+                yield _det101_finding(module, generator.iter, kind)
+
+
+def _order_insensitive_comprehension(module: "ModuleContext",
+                                     node: ast.AST) -> bool:
+    """True when the comprehension's result order cannot matter."""
+    if isinstance(node, ast.SetComp):
+        return True  # result is itself unordered
+    parent = module.parent(node)
+    return (isinstance(parent, ast.Call)
+            and call_name(parent) in ORDER_INSENSITIVE_CONSUMERS
+            and node in parent.args)
+
+
+def _det101_finding(module: "ModuleContext", iter_node: ast.AST,
+                    kind: str) -> Finding:
+    return module.finding(
+        iter_node, "DET101",
+        f"{kind} iterates a set: the iteration order is unspecified and "
+        f"may escape into an ordered result (fingerprints, labels, "
+        f"emitted output)",
+        hint="wrap the iterable in sorted(...) to pin the order, or "
+             "suppress with the reason order cannot escape")
+
+
+# ----------------------------------------------------------------------
+# DET102: nondeterminism in fingerprint-reachable / stage-body code
+# ----------------------------------------------------------------------
+@rule("DET102",
+      "nondeterministic call in fingerprint-reachable or stage-body code",
+      "fingerprints key the stage cache and the shard planner: derive "
+      "every input from content, never from the process")
+def det102_impure_fingerprint(module: "ModuleContext",
+                              index: "ProjectIndex") -> Iterator[Finding]:
+    functions: dict[ast.FunctionDef, str] = {
+        node: module.enclosing_symbol(node)
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.FunctionDef)}
+    by_name: dict[str, list[ast.FunctionDef]] = {}
+    for function in functions:
+        by_name.setdefault(function.name, []).append(function)
+
+    seeds = [function for function in functions
+             if function.name in FINGERPRINT_SEED_NAMES]
+    for stage_run in _stage_run_names(module.tree):
+        seeds.extend(by_name.get(stage_run, ()))
+
+    # same-module reachability over direct calls (self.x() and f())
+    reachable: set[ast.FunctionDef] = set()
+    worklist = list(seeds)
+    while worklist:
+        function = worklist.pop()
+        if function in reachable:
+            continue
+        reachable.add(function)
+        for node in walk_scope(function):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = None
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in ("self", "cls"):
+                callee = node.func.attr
+            if callee is not None:
+                worklist.extend(by_name.get(callee, ()))
+
+    imports = module.module_imports()
+    for function in sorted(reachable, key=lambda f: f.lineno):
+        symbol = functions[function]
+        for node in walk_scope(function):
+            reason = _nondeterministic_use(node, imports)
+            if reason is not None:
+                yield module.finding(
+                    node, "DET102",
+                    f"{reason} inside {symbol!r}, which is "
+                    f"fingerprint-reachable (or a pipeline stage body): "
+                    f"the result varies across processes or runs",
+                    hint="fingerprint content only: sort by name, hash "
+                         "with content_hash, seed RNGs from stable keys")
+
+
+def _stage_run_names(tree: ast.Module) -> list[str]:
+    """Function names passed as the ``run`` of a ``Stage(...)`` call."""
+    names = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and call_name(node) == STAGE_FACTORY_NAME):
+            continue
+        run: ast.AST | None = node.args[3] if len(node.args) >= 4 else None
+        for keyword in node.keywords:
+            if keyword.arg == "run":
+                run = keyword.value
+        if isinstance(run, ast.Name):
+            names.append(run.id)
+    return names
+
+
+def _nondeterministic_use(node: ast.AST,
+                          imports: "Mapping[str, str]") -> str | None:
+    """Describe the nondeterministic use ``node`` makes, if any."""
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in NONDETERMINISTIC_BUILTINS:
+            return f"call to builtin {name}()"
+        if name is not None:
+            origin = imports.get(name, "")
+            origin_module = origin.split(".")[0]
+            if origin_module in NONDETERMINISTIC_MODULES \
+                    and not _seeded_random(name, node):
+                return f"call to {origin} (imported as {name})"
+        if isinstance(node.func, ast.Attribute):
+            root = root_name(node.func)
+            origin_module = str(imports.get(root, root)).split(".")[0] \
+                if root is not None else None
+            if origin_module in NONDETERMINISTIC_MODULES \
+                    and not _seeded_random(node.func.attr, node):
+                return f"call to {origin_module}.{node.func.attr}"
+    if isinstance(node, ast.Attribute):
+        root = root_name(node)
+        if root == "os" and node.attr in OS_ENVIRONMENT_READS:
+            return f"read of os.{node.attr}"
+    return None
+
+
+def _seeded_random(name: str, call: ast.Call) -> bool:
+    """``random.Random(stable_key)`` is the sanctioned deterministic RNG."""
+    return name in SEEDED_RANDOM_FACTORIES and bool(call.args)
+
+
+# ----------------------------------------------------------------------
+# DET103: set.pop() -- the arbitrary-element escape hatch
+# ----------------------------------------------------------------------
+@rule("DET103",
+      "set.pop() removes an arbitrary (hash-order) element",
+      "pop from a sorted worklist or use an explicit order")
+def det103_set_pop(module: "ModuleContext",
+                   index: "ProjectIndex") -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop" and not node.args
+                and not node.keywords
+                and is_set_expr(node.func.value)):
+            yield module.finding(
+                node, "DET103",
+                "pop() on a set returns an arbitrary element (string-hash "
+                "order, varies per process)",
+                hint="use `min(...)`/`sorted(...)` or an explicit worklist")

@@ -1,0 +1,173 @@
+"""FRZ: immutability of frozen dataclasses and the automaton kernel.
+
+The stage cache, the shard planner and structural equality all assume
+that once an :class:`~repro.automata.core.Automaton` (or a frozen
+payload/config dataclass) exists, it never changes: fingerprints are
+memoized on first use, and a post-hoc mutation would leave the memo --
+and every cache keyed by it -- describing an object that no longer
+exists.  ``Stg``/``Fsm`` are the sanctioned *mutable builder views*,
+but only through their builder methods; reaching into their private
+state from outside reintroduces the same hazard one level up.
+
+``FRZ301`` flags ``object.__setattr__`` outside constructors (the only
+place the frozen-dataclass escape hatch is legitimate), ``FRZ302``
+flags kernel methods mutating ``self`` outside constructors/builders/
+declared memo slots, ``FRZ303`` flags external attribute writes on
+instances of frozen dataclasses and kernel classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..config import (CONSTRUCTOR_METHODS, KERNEL_BUILDER_METHODS,
+                      KERNEL_CLASSES, KERNEL_MEMO_ATTRIBUTES)
+from ..findings import Finding
+from ..registry import rule
+from .common import function_defs, scope_instance_classes, walk_scope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ModuleContext
+    from ..project import ProjectIndex
+
+
+# ----------------------------------------------------------------------
+# FRZ301: object.__setattr__ outside a constructor
+# ----------------------------------------------------------------------
+@rule("FRZ301",
+      "object.__setattr__ used outside a constructor",
+      "the frozen-dataclass escape hatch belongs in __init__/"
+      "__post_init__ only; anywhere else it defeats frozen=True")
+def frz301_setattr_escape(module: "ModuleContext",
+                          index: "ProjectIndex") -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"):
+            continue
+        symbol = module.enclosing_symbol(node)
+        method = symbol.rsplit(".", 1)[-1] if symbol else ""
+        if method in CONSTRUCTOR_METHODS:
+            continue
+        yield module.finding(
+            node, "FRZ301",
+            f"object.__setattr__ in {symbol or '<module>'!r} bypasses "
+            f"frozen=True outside a constructor: downstream fingerprints "
+            f"and caches assume the instance never changes",
+            hint="build a new instance (dataclasses.replace) instead of "
+                 "mutating; __post_init__ is the only sanctioned site")
+
+
+# ----------------------------------------------------------------------
+# FRZ302: kernel methods mutating self outside constructors/builders
+# ----------------------------------------------------------------------
+@rule("FRZ302",
+      "kernel class mutates self outside constructor/builder/memo slots",
+      "Automaton is immutable after __init__; Stg/Fsm mutate only via "
+      "their add_* builders and declared lazy-memo attributes")
+def frz302_kernel_self_writes(module: "ModuleContext",
+                              index: "ProjectIndex") -> Iterator[Finding]:
+    for class_def in ast.walk(module.tree):
+        if not (isinstance(class_def, ast.ClassDef)
+                and class_def.name in KERNEL_CLASSES):
+            continue
+        builders = KERNEL_BUILDER_METHODS.get(class_def.name, frozenset())
+        memos = KERNEL_MEMO_ATTRIBUTES.get(class_def.name, frozenset())
+        for method in class_def.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name in CONSTRUCTOR_METHODS or method.name in builders:
+                continue
+            for target in _self_attribute_writes(method):
+                if target.attr in memos:
+                    continue
+                yield module.finding(
+                    target, "FRZ302",
+                    f"{class_def.name}.{method.name} assigns "
+                    f"self.{target.attr}: kernel instances are immutable "
+                    f"outside constructors and builder methods, and "
+                    f"{target.attr!r} is not a declared memo attribute",
+                    hint="return a new instance, route the mutation "
+                         "through a builder method, or register the "
+                         "attribute as a lazy memo in the lint config")
+
+
+def _self_attribute_writes(method: ast.FunctionDef) -> Iterator[ast.Attribute]:
+    """Attribute targets of ``self.x = ...`` style statements."""
+    for node in walk_scope(method):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for leaf in _flatten_targets(target):
+                if (isinstance(leaf, ast.Attribute)
+                        and isinstance(leaf.value, ast.Name)
+                        and leaf.value.id == "self"):
+                    yield leaf
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+# ----------------------------------------------------------------------
+# FRZ303: external writes to frozen/kernel instances
+# ----------------------------------------------------------------------
+@rule("FRZ303",
+      "attribute write on a frozen dataclass or kernel instance from "
+      "outside the class",
+      "strict classes (Automaton, frozen dataclasses) reject all "
+      "external writes; builder views (Stg, Fsm) reject writes to "
+      "underscore internals")
+def frz303_external_writes(module: "ModuleContext",
+                           index: "ProjectIndex") -> Iterator[Finding]:
+    frozen = index.frozen_dataclass_names()
+    tracked = frozen | set(KERNEL_CLASSES)
+    for scope in function_defs(module.tree):
+        instances = scope_instance_classes(scope, tracked)
+        if not instances:
+            continue
+        owner = module.enclosing_symbol(scope)
+        for node in walk_scope(scope):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    if not (isinstance(leaf, ast.Attribute)
+                            and isinstance(leaf.value, ast.Name)):
+                        continue
+                    variable = leaf.value.id
+                    class_name = instances.get(variable)
+                    if class_name is None or variable in ("self", "cls"):
+                        continue
+                    policy = KERNEL_CLASSES.get(
+                        class_name,
+                        "strict" if class_name in frozen else "internals")
+                    if policy == "internals" \
+                            and not leaf.attr.startswith("_"):
+                        continue
+                    kind = ("frozen dataclass" if class_name in frozen
+                            and class_name not in KERNEL_CLASSES
+                            else "kernel class")
+                    yield module.finding(
+                        leaf, "FRZ303",
+                        f"{owner or '<module>'!r} writes "
+                        f"{variable}.{leaf.attr} where {variable} holds a "
+                        f"{class_name} ({kind}): external mutation "
+                        f"invalidates memoized fingerprints and any cache "
+                        f"keyed by them",
+                        hint="use dataclasses.replace / a builder method, "
+                             "or suppress with the reason this write is a "
+                             "sanctioned memo")

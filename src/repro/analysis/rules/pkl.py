@@ -1,0 +1,112 @@
+"""PKL: shard-payload pickle-safety at definition time.
+
+The shard backend ships :class:`~repro.flow.shard.JobPayload` in and
+:class:`~repro.flow.shard.JobSummary`/:class:`~repro.flow.shard.ShardOutcome`
+back across a process boundary.  The runtime ``payload_check`` catches
+an unpicklable *instance* at submission time; these rules close the
+gap one layer earlier, at class definition: a payload class may only
+declare fields whose types are statically known to pickle compactly.
+Whoever adds ``stage_cache: StageCache`` or ``hook: Callable`` to a
+payload learns at lint time, not in a worker traceback.
+
+``PKL201`` checks the field annotations against the allowlist;
+``PKL202`` requires payload classes to be ``@dataclass(frozen=True)``
+(an unfrozen payload could be mutated between fingerprinting and
+submission, splitting the shard plan from the shipped content).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..config import PAYLOAD_ATOMS, PAYLOAD_SAFE_TYPES
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ModuleContext
+    from ..project import ProjectIndex
+
+
+@rule("PKL201",
+      "payload field type is not statically picklable/compact",
+      "payloads cross the process boundary: hold only plain data and "
+      "registered payload-safe domain types")
+def pkl201_field_types(module: "ModuleContext",
+                       index: "ProjectIndex") -> Iterator[Finding]:
+    allowed = (PAYLOAD_ATOMS | PAYLOAD_SAFE_TYPES
+               | index.payload_class_names())
+    for info in index.payload_classes():
+        if info.path != module.path:
+            continue
+        for name, annotation, line in info.fields:
+            offending = sorted(_disallowed_atoms(annotation, allowed))
+            if offending:
+                yield Finding(
+                    path=module.path, line=line,
+                    column=annotation.col_offset, rule="PKL201",
+                    message=f"field {info.name}.{name} is annotated with "
+                            f"{', '.join(offending)}, which is not on the "
+                            f"payload-safe type allowlist -- it may not "
+                            f"pickle, or not compactly",
+                    hint="ship plain data (int/str/tuple/dict/...) or a "
+                         "registered payload-safe class; let workers "
+                         "rebuild heavy objects from specs",
+                    symbol=info.name)
+
+
+@rule("PKL202",
+      "payload class is not a frozen dataclass",
+      "an unfrozen payload can drift between fingerprinting and "
+      "submission; freeze it so content and shard assignment agree")
+def pkl202_frozen(module: "ModuleContext",
+                  index: "ProjectIndex") -> Iterator[Finding]:
+    for info in index.payload_classes():
+        if info.path != module.path:
+            continue
+        if not (info.is_dataclass and info.frozen):
+            yield Finding(
+                path=module.path, line=info.line, column=0, rule="PKL202",
+                message=f"payload class {info.name} must be declared "
+                        f"@dataclass(frozen=True): payloads are "
+                        f"fingerprinted at plan time and must be "
+                        f"immutable until the worker consumes them",
+                hint="add frozen=True (use dataclasses.replace for "
+                     "variations)",
+                symbol=info.name)
+
+
+def _disallowed_atoms(annotation: ast.AST,
+                      allowed: frozenset[str] | set[str]) -> set[str]:
+    """Type atoms in ``annotation`` that are off the allowlist."""
+    bad: set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            # dotted types (threading.Lock, futures.Future) are never on
+            # the allowlist; report the dotted form once, whole
+            bad.add(ast.unparse(node))
+            return
+        if isinstance(node, ast.Name):
+            if node.id not in allowed:
+                bad.add(node.id)
+            return
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                # quoted forward reference: check its identifiers
+                for token in node.value.replace("|", " ") \
+                        .replace("[", " ").replace("]", " ") \
+                        .replace(",", " ").split():
+                    parts = token.split(".")
+                    if not all(part.isidentifier() for part in parts):
+                        continue
+                    # dotted names are never on the allowlist
+                    if len(parts) > 1 or token not in allowed:
+                        bad.add(token)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(annotation)
+    return bad

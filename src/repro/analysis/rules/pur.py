@@ -1,0 +1,219 @@
+"""PUR: pipeline-stage purity.
+
+The :class:`~repro.flow.pipeline.PipelineExecutor` decides whether a
+stage must re-run by comparing the fingerprints of its *declared*
+inputs, and it fingerprints and stores the *declared* outputs from the
+returned mapping.  A stage body that reads an undeclared artifact has
+a hidden input the cache key does not see -- stale reuse; one that
+writes the context directly bypasses output fingerprinting -- silent
+divergence between cache and truth.  Both failure modes are invisible
+until a cache hit goes wrong, which is why they are linted statically.
+
+``PUR401`` flags undeclared ``ctx.get`` reads, ``PUR402`` flags direct
+``ctx.put`` writes from stage bodies, ``PUR403`` flags non-constant
+context keys (unverifiable declarations), ``PUR404`` flags returned
+dict literals missing declared outputs, ``PUR405`` flags module-level
+I/O (stage modules are imported by every shard worker).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, NamedTuple
+
+from ..config import MODULE_LEVEL_IO_CALLS, STAGE_FACTORY_NAME
+from ..findings import Finding
+from ..registry import rule
+from .common import call_name, const_str_tuple, walk_scope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ModuleContext
+    from ..project import ProjectIndex
+
+_CTX_WRITERS = frozenset({"put", "put_fingerprinted"})
+
+
+class StageBinding(NamedTuple):
+    """One ``Stage(name, inputs, outputs, run)`` call resolved to its
+    run function in the same module."""
+
+    stage_name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    body: ast.FunctionDef
+
+
+def _stage_bindings(module: "ModuleContext") -> list[StageBinding]:
+    by_name: dict[str, ast.FunctionDef] = {
+        node.name: node for node in ast.walk(module.tree)
+        if isinstance(node, ast.FunctionDef)}
+    bindings: list[StageBinding] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and call_name(node) == STAGE_FACTORY_NAME):
+            continue
+        slots: dict[str, ast.AST | None] = dict.fromkeys(
+            ("name", "inputs", "outputs", "run"))
+        for position, argument in enumerate(node.args[:4]):
+            slots[("name", "inputs", "outputs", "run")[position]] = argument
+        for keyword in node.keywords:
+            if keyword.arg in slots:
+                slots[keyword.arg] = keyword.value
+        name_node, run_node = slots["name"], slots["run"]
+        inputs = const_str_tuple(slots["inputs"]) \
+            if slots["inputs"] is not None else None
+        outputs = const_str_tuple(slots["outputs"]) \
+            if slots["outputs"] is not None else None
+        if not (isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+                and isinstance(run_node, ast.Name)
+                and inputs is not None and outputs is not None):
+            continue  # dynamically-built stage: nothing checkable here
+        body = by_name.get(run_node.id)
+        if body is not None:
+            bindings.append(StageBinding(name_node.value, inputs,
+                                         outputs, body))
+    return bindings
+
+
+def _ctx_calls(binding: StageBinding) -> Iterator[tuple[ast.Call, str]]:
+    """``(call, method)`` for every ``ctx.<method>(...)`` in the body."""
+    if not binding.body.args.args:
+        return
+    ctx_name = binding.body.args.args[0].arg
+    for node in walk_scope(binding.body):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == ctx_name):
+            yield node, node.func.attr
+
+
+# ----------------------------------------------------------------------
+@rule("PUR401",
+      "stage body reads an artifact it does not declare as input",
+      "undeclared reads are hidden cache-key inputs: the executor will "
+      "reuse stale outputs when only the undeclared artifact changed")
+def pur401_undeclared_read(module: "ModuleContext",
+                           index: "ProjectIndex") -> Iterator[Finding]:
+    for binding in _stage_bindings(module):
+        declared = set(binding.inputs)
+        for call, method in _ctx_calls(binding):
+            if method != "get" or not call.args:
+                continue
+            key = call.args[0]
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and key.value not in declared):
+                yield module.finding(
+                    call, "PUR401",
+                    f"stage {binding.stage_name!r} reads artifact "
+                    f"{key.value!r} which is not in its declared inputs "
+                    f"{binding.inputs}: the stage cache will not re-run "
+                    f"this stage when {key.value!r} changes",
+                    hint="add the key to the Stage(...) inputs tuple, or "
+                         "pass the value in through a declared artifact")
+
+
+@rule("PUR402",
+      "stage body writes the context directly instead of returning",
+      "ctx.put from inside a stage bypasses output fingerprinting: "
+      "cached replays of the stage will not reproduce the write")
+def pur402_direct_write(module: "ModuleContext",
+                        index: "ProjectIndex") -> Iterator[Finding]:
+    for binding in _stage_bindings(module):
+        for call, method in _ctx_calls(binding):
+            if method in _CTX_WRITERS:
+                yield module.finding(
+                    call, "PUR402",
+                    f"stage {binding.stage_name!r} calls ctx.{method}(...) "
+                    f"directly: the executor only fingerprints artifacts "
+                    f"returned from the body, so a cache hit would skip "
+                    f"this write entirely",
+                    hint="return the value in the output mapping and "
+                         "declare the key in the Stage(...) outputs")
+
+
+@rule("PUR403",
+      "stage body uses a non-constant context key",
+      "dynamic keys cannot be checked against the declared inputs and "
+      "defeat the cache-key audit")
+def pur403_dynamic_key(module: "ModuleContext",
+                       index: "ProjectIndex") -> Iterator[Finding]:
+    for binding in _stage_bindings(module):
+        for call, method in _ctx_calls(binding):
+            if method != "get" or not call.args:
+                continue
+            key = call.args[0]
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                yield module.finding(
+                    call, "PUR403",
+                    f"stage {binding.stage_name!r} reads the context with "
+                    f"a non-constant key: the declared-inputs contract "
+                    f"cannot be verified for dynamic keys",
+                    hint="read artifacts by string literal; branch on the "
+                         "values, not on the key names")
+
+
+@rule("PUR404",
+      "stage return dict is missing declared outputs",
+      "the executor raises at runtime when a declared output is absent; "
+      "catch the mismatch at lint time instead")
+def pur404_missing_outputs(module: "ModuleContext",
+                           index: "ProjectIndex") -> Iterator[Finding]:
+    for binding in _stage_bindings(module):
+        for node in walk_scope(binding.body):
+            if not (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Dict)):
+                continue
+            keys: set[str] = set()
+            literal = True
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys.add(key.value)
+                else:
+                    literal = False  # **unpack or computed key
+            if not literal:
+                continue
+            missing = [name for name in binding.outputs if name not in keys]
+            if missing:
+                yield module.finding(
+                    node, "PUR404",
+                    f"stage {binding.stage_name!r} returns a dict missing "
+                    f"declared output(s) {missing}: the executor will "
+                    f"raise when storing this stage's results",
+                    hint="return every key named in the Stage(...) "
+                         "outputs tuple from every return path")
+
+
+@rule("PUR405",
+      "module-level I/O in analyzed code",
+      "modules are imported by every shard worker process; import must "
+      "stay side-effect free")
+def pur405_import_side_effects(module: "ModuleContext",
+                               index: "ProjectIndex") -> Iterator[Finding]:
+    for statement in module.tree.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Import,
+                                  ast.ImportFrom)):
+            continue
+        if _is_main_guard(statement):
+            continue
+        for node in walk_scope(statement):
+            if isinstance(node, ast.Call) \
+                    and call_name(node) in MODULE_LEVEL_IO_CALLS:
+                yield module.finding(
+                    node, "PUR405",
+                    f"module-level call to {call_name(node)}() runs on "
+                    f"import, in every process that touches this module "
+                    f"(including all shard workers)",
+                    hint="move the call under a function or the "
+                         "__main__ guard")
+
+
+def _is_main_guard(statement: ast.stmt) -> bool:
+    return (isinstance(statement, ast.If)
+            and isinstance(statement.test, ast.Compare)
+            and isinstance(statement.test.left, ast.Name)
+            and statement.test.left.id == "__name__")

@@ -173,6 +173,9 @@ def _observation_rows(automaton: Automaton) -> list[tuple]:
                 letter = INPUT_PREFIX + "+".join(names) if names else None
             rows.append((t.src, t.dst, letter,
                          symbols.names_of(t.actions), t.guard))
+        # repro-lint: ignore[FRZ303] -- sanctioned lazy memo: _obs_summary
+        # is registered in KERNEL_MEMO_ATTRIBUTES, derived purely from
+        # frozen content and invisible to equality and fingerprints
         automaton._obs_summary = rows
     return rows
 

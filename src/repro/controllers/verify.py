@@ -312,7 +312,7 @@ def _observable_classes(reference, product,
               _coemission_bursts(reference) + _coemission_bursts(product)
               if len(burst & actions) > 1]
     owner: dict[str, str] = {f"reset_{r}": r
-                             for r in set(resource_of.values())}
+                             for r in sorted(set(resource_of.values()))}
     for action in actions:
         if action.startswith(_START):
             owner[action] = resource_of.get(action[len(_START):], "?")

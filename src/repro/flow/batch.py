@@ -462,8 +462,10 @@ class BatchRunner:
             # abandoned workers may still be executing a timed-out job;
             # don't block the sweep on them
             pool.shutdown(wait=not abandoned, cancel_futures=True)
-        assert all(o is not None for o in outcomes)
-        return outcomes  # type: ignore[return-value]
+        completed = [o for o in outcomes if o is not None]
+        assert len(completed) == len(outcomes), \
+            "every job must have an outcome"
+        return completed
 
     @staticmethod
     def _outcome_of(future: Future, job: FlowJob) -> JobOutcome:

@@ -121,6 +121,9 @@ def _identity_token(value: Any) -> int:
     are pinned by the registry instead, which equally guarantees their
     token (and address) outlives every cache key mentioning it.
     """
+    # repro-lint: ignore[DET102] -- identity tokens are process-local by
+    # design: they key same-process cache entries for unfingerprintable
+    # values and never reach a shard payload or cross-process fingerprint
     key = id(value)
     with _identity_lock:
         entry = _identity_registry.get(key)

@@ -191,12 +191,12 @@ def extract_mapping(solution, indexing: _Indexing) -> dict[str, str]:
     """Read the node -> resource mapping out of a solution vector."""
     mapping: dict[str, str] = {}
     for v in indexing.nodes:
-        best_r, best_val = None, -1.0
-        for r in indexing.resources:
-            val = solution[indexing.x[(v, r)]]
-            if val > best_val:
-                best_r, best_val = r, val
-        mapping[v] = best_r  # type: ignore[assignment]
+        # max() keeps the first maximal resource, matching the
+        # strict-improvement scan this replaces
+        best_r, _ = max(((r, solution[indexing.x[(v, r)]])
+                         for r in indexing.resources),
+                        key=lambda item: item[1])
+        mapping[v] = best_r
     return mapping
 
 

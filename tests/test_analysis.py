@@ -1,0 +1,539 @@
+"""Tests for repro-lint (:mod:`repro.analysis`).
+
+Each rule gets a fixture pair: an offending snippet that must produce
+the finding and a corrected snippet that must come back clean.  On top
+of the per-rule pairs: suppression and baseline round-trips (including
+the mandatory-reason enforcement, LNT001/LNT004), engine determinism,
+and the meta-test that the linter gate passes on this repository
+itself.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (Baseline, Finding, all_rules, lint_sources,
+                            parse_suppressions, render_json, rules_for,
+                            write_baseline)
+from repro.analysis.baseline import line_text_of
+from repro.analysis.engine import ModuleContext
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(source, rules=None, baseline=None, path="mod.py"):
+    sources = {path: textwrap.dedent(source)}
+    return lint_sources(sources, rules=rules, baseline=baseline), sources
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ----------------------------------------------------------------- DET
+class TestDetRules:
+    def test_det101_flags_set_iteration(self):
+        result, _ = run("""
+            def labels(xs):
+                out = []
+                for x in set(xs):
+                    out.append(x)
+                return out
+            """)
+        assert rule_ids(result) == ["DET101"]
+
+    def test_det101_clean_when_sorted(self):
+        result, _ = run("""
+            def labels(xs):
+                return [x for x in sorted(set(xs))]
+            """)
+        assert result.clean
+
+    def test_det101_exempts_order_insensitive_consumers(self):
+        result, _ = run("""
+            def total(xs):
+                return sum(x * 2 for x in set(xs))
+
+            def uniq(xs):
+                return {x * 2 for x in set(xs)}
+            """)
+        assert result.clean
+
+    def test_det101_flags_set_algebra(self):
+        result, _ = run("""
+            def merge(a, b):
+                return [x for x in set(a) | set(b)]
+            """)
+        assert rule_ids(result) == ["DET101"]
+
+    def test_det102_flags_clock_in_fingerprint(self):
+        result, _ = run("""
+            import time
+
+            def fingerprint(x):
+                return (x, time.time())
+            """)
+        assert rule_ids(result) == ["DET102"]
+
+    def test_det102_follows_same_module_calls(self):
+        result, _ = run("""
+            import uuid
+
+            def _salt():
+                return uuid.uuid4()
+
+            def fingerprint(x):
+                return (x, _salt())
+            """)
+        assert rule_ids(result) == ["DET102"]
+        assert result.findings[0].symbol == "_salt"
+
+    def test_det102_covers_stage_bodies(self):
+        result, _ = run("""
+            def _stage_x(ctx):
+                return {"out": id(ctx.get("graph"))}
+
+            STAGES = [Stage("x", ("graph",), ("out",), _stage_x)]
+            """)
+        assert "DET102" in rule_ids(result)
+
+    def test_det102_exempts_seeded_random(self):
+        result, _ = run("""
+            import random
+
+            def fingerprint(x):
+                rng = random.Random(f"key:{x}")
+                return rng.random()
+            """)
+        assert result.clean
+
+    def test_det102_flags_unseeded_random(self):
+        result, _ = run("""
+            import random
+
+            def fingerprint(x):
+                rng = random.Random()
+                return rng.random()
+            """)
+        assert rule_ids(result) == ["DET102"]
+
+    def test_det102_ignores_unreachable_functions(self):
+        result, _ = run("""
+            import time
+
+            def stopwatch():
+                return time.perf_counter()
+            """)
+        assert result.clean
+
+    def test_det103_flags_set_pop(self):
+        result, _ = run("""
+            def drain(xs):
+                return set(xs).pop()
+            """)
+        assert rule_ids(result) == ["DET103"]
+
+    def test_det103_clean_for_list_pop(self):
+        result, _ = run("""
+            def drain(xs):
+                return sorted(set(xs)).pop()
+            """)
+        assert result.clean
+
+
+# ----------------------------------------------------------------- PKL
+class TestPklRules:
+    def test_pkl201_flags_unsafe_field(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobPayload:
+                handle: object
+            """)
+        assert rule_ids(result) == ["PKL201"]
+
+    def test_pkl201_flags_dotted_and_quoted_types(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobPayload:
+                lock: "threading.Lock"
+                pool: futures.Executor
+            """)
+        assert rule_ids(result) == ["PKL201", "PKL201"]
+
+    def test_pkl201_clean_for_allowlisted_types(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobPayload:
+                name: str
+                sizes: tuple
+                graph: TaskGraph
+                spec: "WorkloadSpec | None"
+            """)
+        assert result.clean
+
+    def test_pkl201_obligation_is_inherited(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class WorkloadSpec:
+                seed: int
+
+            @dataclass(frozen=True)
+            class CustomSpec(WorkloadSpec):
+                callback: object
+            """)
+        assert rule_ids(result) == ["PKL201"]
+        assert result.findings[0].symbol == "CustomSpec"
+
+    def test_pkl202_requires_frozen_dataclass(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class JobSummary:
+                name: str
+            """)
+        assert rule_ids(result) == ["PKL202"]
+
+    def test_pkl202_clean_when_frozen(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class JobSummary:
+                name: str
+            """)
+        assert result.clean
+
+
+# ----------------------------------------------------------------- FRZ
+class TestFrzRules:
+    def test_frz301_flags_setattr_outside_constructor(self):
+        result, _ = run("""
+            def clobber(x):
+                object.__setattr__(x, "field", 1)
+            """)
+        assert rule_ids(result) == ["FRZ301"]
+
+    def test_frz301_allows_post_init(self):
+        result, _ = run("""
+            class Point:
+                def __post_init__(self):
+                    object.__setattr__(self, "norm", 5)
+            """)
+        assert result.clean
+
+    def test_frz302_flags_kernel_self_mutation(self):
+        result, _ = run("""
+            class Automaton:
+                def poke(self):
+                    self.states = ()
+            """)
+        assert rule_ids(result) == ["FRZ302"]
+
+    def test_frz302_allows_constructor_builder_and_memo(self):
+        result, _ = run("""
+            class Stg:
+                def __init__(self):
+                    self.states = {}
+                    self._automaton_cache = None
+
+                def add_state(self, name):
+                    self.states[name] = name
+                    self._version = 1
+
+                def to_automaton(self):
+                    self._automaton_cache = object()
+                    return self._automaton_cache
+            """)
+        assert result.clean
+
+    def test_frz303_flags_external_kernel_write(self):
+        result, _ = run("""
+            def clobber(a: Automaton):
+                a.initial = "s0"
+            """)
+        assert rule_ids(result) == ["FRZ303"]
+
+    def test_frz303_builder_views_allow_public_writes_only(self):
+        result, _ = run("""
+            def shape(s: Stg):
+                s.initial = "s0"
+                s._automaton_cache = None
+            """)
+        assert rule_ids(result) == ["FRZ303"]
+        assert "_automaton_cache" in result.findings[0].message
+
+    def test_frz303_flags_frozen_dataclass_write(self):
+        result, _ = run("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Config:
+                depth: int
+
+            def bump():
+                config = Config(1)
+                config.depth = 2
+            """)
+        assert rule_ids(result) == ["FRZ303"]
+
+    def test_frz303_clean_for_untracked_classes(self):
+        result, _ = run("""
+            def shape(box):
+                box.value = 1
+            """)
+        assert result.clean
+
+
+# ----------------------------------------------------------------- PUR
+STAGE_PRELUDE = """
+    def _stage_x(ctx):
+        {body}
+    STAGES = [Stage("x", ("graph", "arch"), ("out",), _stage_x)]
+    """
+
+
+def run_stage(body):
+    return run(STAGE_PRELUDE.format(body=body))
+
+
+class TestPurRules:
+    def test_pur401_flags_undeclared_read(self):
+        result, _ = run_stage(
+            'return {"out": ctx.get("hidden")}')
+        assert rule_ids(result) == ["PUR401"]
+
+    def test_pur401_clean_for_declared_reads(self):
+        result, _ = run_stage(
+            'return {"out": (ctx.get("graph"), ctx.get("arch"))}')
+        assert result.clean
+
+    def test_pur402_flags_direct_context_write(self):
+        result, _ = run_stage(
+            'ctx.put("out", 1)\n'
+            '        return {"out": 1}')
+        assert rule_ids(result) == ["PUR402"]
+
+    def test_pur403_flags_dynamic_key(self):
+        result, _ = run_stage(
+            'key = "graph"\n'
+            '        return {"out": ctx.get(key)}')
+        assert rule_ids(result) == ["PUR403"]
+
+    def test_pur404_flags_missing_output(self):
+        result, _ = run_stage(
+            'return {"other": ctx.get("graph")}')
+        assert rule_ids(result) == ["PUR404"]
+
+    def test_pur404_skips_unpacked_returns(self):
+        result, _ = run_stage(
+            'extra = {}\n'
+            '        return {**extra}')
+        assert result.clean
+
+    def test_pur405_flags_module_level_io(self):
+        result, _ = run("""
+            print("importing")
+            """)
+        assert rule_ids(result) == ["PUR405"]
+
+    def test_pur405_allows_main_guard_and_functions(self):
+        result, _ = run("""
+            def report():
+                print("fine")
+
+            if __name__ == "__main__":
+                print("also fine")
+            """)
+        assert result.clean
+
+
+# ------------------------------------------------- suppressions/baseline
+class TestSuppressions:
+    OFFENDING = """
+        def labels(xs):
+            return [x for x in set(xs)]{trailer}
+        """
+
+    def test_trailing_suppression_with_reason(self):
+        result, _ = run(self.OFFENDING.format(
+            trailer="  # repro-lint: ignore[DET101] -- order folds into"
+                    " a set downstream"))
+        assert result.clean
+        assert len(result.suppressed) == 1
+        finding, suppression = result.suppressed[0]
+        assert finding.rule == "DET101"
+        assert "folds" in suppression.reason
+
+    def test_reasonless_suppression_is_rejected(self):
+        result, _ = run(self.OFFENDING.format(
+            trailer="  # repro-lint: ignore[DET101]"))
+        assert sorted(rule_ids(result)) == ["DET101", "LNT001"]
+
+    def test_comment_block_suppression_binds_past_continuations(self):
+        result, _ = run("""
+            def labels(xs):
+                # repro-lint: ignore[DET101] -- the order is rebuilt by
+                # the caller, so it cannot escape
+                return [x for x in set(xs)]
+            """)
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+    def test_suppression_only_covers_named_rules(self):
+        result, _ = run("""
+            def fingerprint(xs):
+                return [id(x) for x in set(xs)]  # repro-lint: ignore[DET101] -- order ok
+            """)
+        assert rule_ids(result) == ["DET102"]
+        assert len(result.suppressed) == 1
+
+
+class TestBaseline:
+    OFFENDING = """
+        def labels(xs):
+            return [x for x in set(xs)]
+        """
+
+    def test_round_trip(self, tmp_path):
+        result, sources = run(self.OFFENDING)
+        assert rule_ids(result) == ["DET101"]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(result.findings, baseline_path, sources)
+
+        data = json.loads(baseline_path.read_text())
+        assert data["findings"][0]["reason"] == ""
+        data["findings"][0]["reason"] = "grandfathered: order is display-only"
+        baseline_path.write_text(json.dumps(data))
+
+        again, _ = run(self.OFFENDING, baseline=Baseline.load(baseline_path))
+        assert again.clean
+        assert len(again.baselined) == 1
+
+    def test_reasonless_entry_fails_the_gate(self, tmp_path):
+        result, sources = run(self.OFFENDING)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(result.findings, baseline_path, sources)
+        again, _ = run(self.OFFENDING, baseline=Baseline.load(baseline_path))
+        assert "LNT004" in rule_ids(again)
+
+    def test_edited_line_resurfaces_the_finding(self):
+        result, sources = run(self.OFFENDING)
+        entry = {"rule": "DET101", "path": "mod.py",
+                 "line_text": "return [x for x in set(osx)]",  # edited
+                 "reason": "no longer matches"}
+        again, _ = run(self.OFFENDING, baseline=Baseline([entry]))
+        assert rule_ids(again) == ["DET101"]
+        assert again.stale_baseline == [entry]
+
+    def test_matching_is_whitespace_insensitive(self):
+        result, sources = run(self.OFFENDING)
+        entry = {"rule": "DET101", "path": "mod.py",
+                 "line_text": "return [x  for x in   set(xs)]",
+                 "reason": "spacing differs, content matches"}
+        again, _ = run(self.OFFENDING, baseline=Baseline([entry]))
+        assert again.clean
+
+
+# ------------------------------------------------------------ engine
+class TestEngine:
+    def test_syntax_error_is_reported_not_raised(self):
+        result, _ = run("def broken(:\n")
+        assert rule_ids(result) == ["LNT003"]
+
+    def test_duplicate_payload_class_is_reported(self):
+        result = lint_sources({
+            "a.py": "class JobPayload:\n    pass\n",
+            "b.py": "class JobPayload:\n    pass\n"})
+        assert "LNT002" in rule_ids(result)
+
+    def test_findings_are_sorted_and_deterministic(self):
+        source = """
+            def labels(xs):
+                victim = set(xs).pop()
+                return [x for x in set(xs)]
+            """
+        first, _ = run(source)
+        second, _ = run(source)
+        assert first.findings == second.findings
+        assert first.findings == sorted(first.findings)
+
+    def test_rule_selection_by_family_and_id(self):
+        source = """
+            def fingerprint(xs):
+                return [id(x) for x in set(xs)]
+            """
+        det_only, _ = run(source, rules=["DET"])
+        assert set(rule_ids(det_only)) == {"DET101", "DET102"}
+        one_rule, _ = run(source, rules=["DET102"])
+        assert rule_ids(one_rule) == ["DET102"]
+
+    def test_registry_has_all_families(self):
+        families = {rule.family for rule in all_rules()}
+        assert {"DET", "PKL", "FRZ", "PUR"} <= families
+        assert len(all_rules()) >= 13
+        assert rules_for(["PKL"]) == [r for r in all_rules()
+                                      if r.family == "PKL"]
+
+    def test_json_report_shape(self):
+        result, _ = run("def f():\n    return [x for x in set(())]\n")
+        report = render_json(result)
+        assert report["rule_counts"] == {"DET101": 1}
+        assert report["family_counts"] == {"DET": 1}
+        assert report["clean"] is False
+        json.dumps(report)  # must be serializable
+
+
+# ---------------------------------------------------------- meta-test
+def _linter_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestRepositoryGate:
+    def test_repo_is_clean(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src"],
+            cwd=REPO_ROOT, env=_linter_env(),
+            capture_output=True, text=True)
+        assert completed.returncode == 0, completed.stdout
+        assert "0 finding(s)" in completed.stdout
+
+    def test_seeded_violation_fails_the_gate(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent("""
+            import time
+
+            def fingerprint(x):
+                return time.time()
+            """))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(bad),
+             "--no-baseline", "--json"],
+            cwd=REPO_ROOT, env=_linter_env(),
+            capture_output=True, text=True)
+        assert completed.returncode == 1
+        report = json.loads(completed.stdout)
+        assert report["rule_counts"] == {"DET102": 1}
+
+    def test_usage_error_exit_code(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "does/not/exist"],
+            cwd=REPO_ROOT, env=_linter_env(),
+            capture_output=True, text=True)
+        assert completed.returncode == 2

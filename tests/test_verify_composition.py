@@ -317,3 +317,68 @@ class TestVerifyFlowStage:
         result = flow.run(graph)
         assert result.composition_check is None
         assert result.stage_runs.get("verify", 0) == 0
+
+
+class TestObservableClassDeterminism:
+    """Pin: the projection class partition must not depend on hash order.
+
+    ``_observable_classes`` seeds its per-unit classes from the distinct
+    resource names, and the greedy packing of memory commands runs over
+    the resulting class list -- if unordered-set iteration ever escaped
+    into that list (the site at verify.py previously iterated
+    ``set(resource_of.values())`` unsorted), two hosts could check and
+    label different projections.  Computing the partition under two
+    different ``PYTHONHASHSEED`` values must give identical results.
+    """
+
+    SCRIPT = """
+import json
+from repro.apps import four_band_equalizer
+from repro.controllers import synthesize_system_controller
+from repro.controllers.verify import (DEFAULT_MAX_PRODUCT_STATES,
+                                      _node_resources, _observable_classes,
+                                      controller_product_automaton,
+                                      stg_step_automaton)
+from repro.estimate import CostModel
+from repro.graph import from_mapping
+from repro.platform import minimal_board
+from repro.schedule import list_schedule
+from repro.stg import build_stg, minimize_stg
+
+graph, arch = four_band_equalizer(words=8), minimal_board()
+mapping = {node.name: arch.fpga_names[0]
+           if node.name in ("band0", "gain0") else arch.processor_names[0]
+           for node in graph.internal_nodes()}
+partition = from_mapping(graph, mapping, arch.fpga_names,
+                         arch.processor_names)
+schedule = list_schedule(partition, CostModel(graph, arch))
+mini, _ = minimize_stg(build_stg(schedule))
+controller = synthesize_system_controller(mini)
+product = controller_product_automaton(controller,
+                                       DEFAULT_MAX_PRODUCT_STATES)
+reference = stg_step_automaton(mini, DEFAULT_MAX_PRODUCT_STATES)
+classes = _observable_classes(reference, product,
+                              _node_resources(controller))
+print(json.dumps([[label, sorted(members)] for label, members in classes]))
+"""
+
+    def _classes_under_hash_seed(self, seed):
+        import os
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(seed)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        completed = subprocess.run([sys.executable, "-c", self.SCRIPT],
+                                   env=env, capture_output=True, text=True)
+        assert completed.returncode == 0, completed.stderr
+        import json
+        return json.loads(completed.stdout)
+
+    def test_classes_identical_across_hash_seeds(self):
+        first = self._classes_under_hash_seed(0)
+        second = self._classes_under_hash_seed(4242)
+        assert first == second
+        assert len(first) > 1  # the partition is non-trivial
