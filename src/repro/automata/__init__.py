@@ -16,6 +16,8 @@ from .product import (CompositionConfig, ProductEnvironment,
                       reachable_automaton, synchronous_product)
 from .simplify import (SimplifyReport, simplify_automaton_guards,
                        state_care_node)
+from .symbolic import (ClassVerdict, LazyStepSystem, SymbolicEquivalence,
+                       reachable_set_summary, symbolic_trace_equivalence)
 
 __all__ = [
     "AutomataError", "Automaton", "AutomatonBuilder", "SymbolTable",
@@ -26,4 +28,6 @@ __all__ = [
     "CompositionConfig", "ProductEnvironment", "SynchronousComposition",
     "internal_signals", "reachable_automaton", "synchronous_product",
     "SimplifyReport", "simplify_automaton_guards", "state_care_node",
+    "ClassVerdict", "LazyStepSystem", "SymbolicEquivalence",
+    "reachable_set_summary", "symbolic_trace_equivalence",
 ]

@@ -32,8 +32,8 @@ from .core import Automaton, AutomataError, AutomatonBuilder
 from .executor import SequentialRunner
 
 __all__ = ["CompositionConfig", "SynchronousComposition",
-           "internal_signals", "ProductEnvironment", "reachable_automaton",
-           "synchronous_product"]
+           "composition_stepper", "internal_signals", "ProductEnvironment",
+           "reachable_automaton", "synchronous_product"]
 
 
 def internal_signals(components: Sequence[Automaton]) -> tuple[str, ...]:
@@ -278,6 +278,36 @@ def reachable_automaton(name: str, initial_config: Hashable,
     return builder.build(initial=labels[initial_key])
 
 
+def composition_stepper(components: Sequence[Automaton],
+                        config: CompositionConfig | None = None,
+                        held: Iterable[str] = ()
+                        ) -> tuple[tuple, Callable[[tuple, frozenset],
+                                                   tuple[tuple, tuple]]]:
+    """``(initial configuration, step function)`` over a scratch composition.
+
+    The step contract of :func:`reachable_automaton`: given a
+    configuration key and an input letter, run one composition cycle
+    (``held`` signals delivered level-style, the rest latched) and
+    return the successor configuration plus the external actions.  Both
+    the materializing product below and the lazy step systems of the
+    symbolic verification tier (:mod:`repro.automata.symbolic`) drive
+    the same scratch composition through this one function, so the two
+    tiers cannot diverge on cycle semantics.  The returned step closes
+    over one scratch composition and is therefore not thread-safe;
+    callers that publish explored systems must finish exploring first.
+    """
+    scratch = SynchronousComposition(components, config)
+    held = frozenset(held)
+
+    def step(config_key: tuple,
+             letter: frozenset) -> tuple[tuple, tuple[str, ...]]:
+        _restore(scratch, config_key)
+        actions = scratch.cycle(pulses=letter - held, held=letter & held)
+        return scratch.configuration(), tuple(actions)
+
+    return scratch.configuration(), step
+
+
 def synchronous_product(components: Sequence[Automaton],
                         config: CompositionConfig | None = None,
                         letters: Sequence[Iterable[str]] | None = None,
@@ -301,27 +331,21 @@ def synchronous_product(components: Sequence[Automaton],
     Raises :class:`AutomataError` when the reachable set exceeds
     ``max_states``.
     """
-    scratch = SynchronousComposition(components, config)
+    initial, step = composition_stepper(components, config, held)
     if letters is None and environment is None:
-        hidden = set(scratch.config.internal)
+        hidden = frozenset(config.internal) if config is not None \
+            else frozenset(internal_signals(components))
         externals = sorted({name for c in components
                             for name in c.input_names()} - hidden)
         letters = [frozenset()] + [frozenset({s}) for s in externals]
-    held = frozenset(held)
-
-    def step(config_key: tuple,
-             letter: frozenset) -> tuple[tuple, tuple[str, ...]]:
-        _restore(scratch, config_key)
-        actions = scratch.cycle(pulses=letter - held, held=letter & held)
-        return scratch.configuration(), tuple(actions)
 
     def label_of(config_key: tuple, index: int) -> str:
         names = "|".join(c.name_of(s)
-                         for c, s in zip(scratch.components, config_key[0]))
+                         for c, s in zip(components, config_key[0]))
         return f"p{index}[{names}]"
 
     return reachable_automaton(
-        "x".join(c.name for c in components), scratch.configuration(), step,
+        "x".join(c.name for c in components), initial, step,
         letters=letters or (), environment=environment, label_of=label_of,
         max_states=max_states)
 

@@ -38,7 +38,7 @@ from dataclasses import replace
 from ..automata import AutomataError, SynchronousComposition
 from .fsm import Fsm
 from .system_controller import SystemController, controller_composition
-from .verify import DEFAULT_MAX_PRODUCT_STATES, controller_product_automaton
+from .verify import DEFAULT_MAX_PRODUCT_STATES, controller_step_system
 
 __all__ = ["harvest_care_sets", "simplify_controller_guards",
            "simplify_fsm_conditions"]
@@ -52,35 +52,41 @@ def harvest_care_sets(controller: SystemController,
                       ) -> CareSets:
     """Every input valuation each FSM can see, per state, reachably.
 
-    Walks the transitions of the materialized product: for a step out
-    of a reachable configuration under input letter ``L``, component
-    ``i`` sees ``flags ∪ L ∪ internal`` minus its consumed broadcast
-    channels -- the visibility rule of
+    Walks the step rows of the lazily explored composition
+    (:func:`repro.controllers.verify.controller_step_system` -- the
+    same exploration the symbolic verify tier proves equivalence on,
+    shared through its fingerprint cache): for a step out of a
+    reachable configuration under input letter ``L``, component ``i``
+    sees ``flags ∪ L ∪ internal`` minus its consumed broadcast channels
+    -- the visibility rule of
     :meth:`repro.automata.SynchronousComposition.cycle`, where latched
     pulses and held command signals are equally visible in the cycle
-    they arrive.  Raises
-    :class:`~repro.automata.AutomataError` when the reachable product
-    exceeds ``max_states`` (callers fall back to no don't-cares).
+    they arrive.  The lazy system has no state bound, so the harvest
+    covers every design the verifier proves; ``max_states`` is kept for
+    interface stability but no longer limits the walk.
     """
+    del max_states  # the lazy exploration is unbounded
     components, _config = controller_composition(controller)
-    product = controller_product_automaton(controller, max_states)
-    symbols = product.symbols
+    system = controller_step_system(controller)
     care: CareSets = {component.name: {} for component in components}
     by_component = [care[component.name] for component in components]
-    for transition in product.transitions:
-        config, _env = product.key_of(transition.src)
+    for state in range(len(system)):
+        config, _env = system.key_of(state)
         states, flags, internal, consumed = \
             SynchronousComposition.configuration_parts(config)
-        letter = frozenset(symbols.names_of(transition.conditions))
-        # the cycle's visibility rule collapses: latched pulses
-        # (letter - held) and held command signals (letter & held) are
-        # both visible in the very cycle they arrive, so the component
-        # sees the whole letter on top of the standing latches
-        visible_base = set(flags) | letter | set(internal)
-        for index, component in enumerate(components):
-            visible = frozenset(visible_base - consumed[index])
-            state_name = component.name_of(states[index])
-            by_component[index].setdefault(state_name, set()).add(visible)
+        standing = set(flags) | set(internal)
+        names = [component.name_of(states[index])
+                 for index, component in enumerate(components)]
+        for letter_id, _actions, _succ in system.rows(state):
+            # the cycle's visibility rule collapses: latched pulses
+            # (letter - held) and held command signals (letter & held)
+            # are both visible in the very cycle they arrive, so the
+            # component sees the whole letter on top of the latches
+            visible_base = standing | system.letter_of(letter_id)
+            for index in range(len(components)):
+                visible = frozenset(visible_base - consumed[index])
+                by_component[index].setdefault(names[index],
+                                               set()).add(visible)
     return care
 
 
@@ -125,10 +131,11 @@ def simplify_controller_guards(
         ) -> tuple[SystemController, dict]:
     """A controller with reachability-reduced guard literals + stats.
 
-    ``care_sets`` defaults to a fresh :func:`harvest_care_sets`; when
-    the reachable product exceeds ``max_states`` the controller is
-    returned unchanged (stats record the reason) -- don't-care
-    simplification without the reachability evidence would be unsound.
+    ``care_sets`` defaults to a fresh :func:`harvest_care_sets` (now
+    unbounded -- the lazy exploration retired the ``max_states``
+    limit); should the harvest ever fail, the controller is returned
+    unchanged with the reason in the stats -- don't-care simplification
+    without the reachability evidence would be unsound.
     """
     if care_sets is None:
         try:

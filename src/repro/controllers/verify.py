@@ -6,18 +6,33 @@ over ``go`` / ``phase_done_*`` / the done-flag registers) implements
 exactly the scheduled behaviour the STG specifies.  This module checks
 that claim for every synthesized design with a **tiered strategy**:
 
-**Tier 1 -- exhaustive bisimulation** (small designs).  Both sides are
-materialized as finite step automata under the *admissible environment
-closure*: per state, the environment may stay silent, deliver the done
-pulse of any in-flight node (started, completion not yet reported), or
--- once the activation completed -- pulse ``restart``.  The controller
-side is :func:`repro.automata.synchronous_product` over the exact
-harness composition; the STG side is the token executor explored
-through the same :func:`repro.automata.reachable_automaton`
-materializer.  The two automata are then compared by **weak
+**Symbolic tier (default exhaustive tier)**.  Both sides are explored
+as :class:`~repro.automata.LazyStepSystem` step systems under the
+*admissible environment closure*: per state, the environment may stay
+silent, deliver the done pulse of any in-flight node (started,
+completion not yet reported), or -- once the activation completed --
+pulse ``restart``.  Nothing automaton-shaped is materialized and there
+is **no state bound**: equivalence is decided per observable class by
+the determinized τ-closed pair fixpoint of
+:func:`repro.automata.symbolic_trace_equivalence` (weak bisimilarity
+coincides with weak trace equivalence on these determinate systems --
+see :mod:`repro.automata.symbolic`), the reachable sets live as BDD
+characteristic functions, and on designs small enough for the explicit
+oracle the per-letter partitioned transition-relation BDDs are
+re-imaged to the same fixpoint as a cross-check of the relational
+machinery (``docs/SYMBOLIC_VERIFY.md``).
+
+**Explicit tier -- materialized weak bisimulation** (the cross-check
+oracle, and ``strategy="exhaustive"``).  The controller side is
+:func:`repro.automata.synchronous_product` over the exact harness
+composition; the STG side is the token executor explored through the
+same :func:`repro.automata.reachable_automaton` materializer (both
+bounded by ``max_states``).  The two automata are compared by **weak
 bisimulation** (:func:`repro.automata.weak_bisimilar` -- kernel
 partition refinement on the τ-saturated disjoint union), projected per
-observable class:
+observable class.  Under ``strategy="auto"`` this tier re-proves every
+design whose step systems stay within ``ORACLE_MAX_STATES``, and any
+verdict disagreement with the symbolic tier is itself a mismatch:
 
 * one projection per processing unit, keeping that unit's commands
   (its reads/starts/writes and its reset) -- interleaving *across*
@@ -26,10 +41,11 @@ observable class:
 
 Because the admissible closure branches over *every* environment
 decision and the ``restart`` edge loops the product back through the
-reset phase, a passing tier proves trace equivalence for **all**
-admissible environments and **all** stream lengths of back-to-back
-activations -- flag-register clearing, consume-once ``go`` re-arming
-and the flush of the internal latches included.  (Simultaneous done
+reset phase, a passing exhaustive tier (symbolic or explicit) proves
+trace equivalence for **all** admissible environments and **all**
+stream lengths of back-to-back activations -- flag-register clearing,
+consume-once ``go`` re-arming and the flush of the internal latches
+included.  (Simultaneous done
 pulses are covered by the single-pulse alphabet: the flag registers
 latch-and-hold, so delivering pulses in consecutive cycles reaches the
 same configurations.)  Data-dependency order on the *controller* side
@@ -39,9 +55,10 @@ that withholds that pulse.  The STG's own traces are still
 sanity-checked against the task graph -- bisimulation cannot see a
 schedule bug both sides mirror faithfully.
 
-**Tier 2 -- environment sampling** (fallback, recorded in
-``CompositionCheck.fallback_reason``).  When the reachable product
-exceeds ``max_states``, both sides run in closed loop against a family
+**Sampled tier -- environment sampling** (fallback, recorded in
+``CompositionCheck.fallback_reason``).  When an exhaustive tier bails
+out (``strategy="auto"`` only falls back when the symbolic tier's
+determinacy contract is violated), both sides run in closed loop against a family
 of deterministic environments (unit latencies drawn per (environment,
 node)) for ``activations`` back-to-back activations through the
 restart path, and their observable behaviour must agree per
@@ -63,18 +80,20 @@ import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
-from ..automata import (AutomataError, SynchronousComposition,
-                        TokenExecutor, weak_bisimilar)
-from ..automata.product import (ProductEnvironment, reachable_automaton,
-                                synchronous_product)
+from ..automata import (AutomataError, LazyStepSystem,
+                        SynchronousComposition, TokenExecutor,
+                        symbolic_trace_equivalence, weak_bisimilar)
+from ..automata.product import (ProductEnvironment, composition_stepper,
+                                reachable_automaton, synchronous_product)
 from ..stg.interp import StgExecutor
 from ..stg.states import StateKind, Stg
 from .system_controller import (PHASE_DONE_STATE, ControllerHarness,
                                 SystemController, controller_composition)
 
 __all__ = ["CompositionCheck", "verify_composition",
-           "controller_product_automaton", "stg_step_automaton",
-           "DEFAULT_MAX_PRODUCT_STATES"]
+           "controller_product_automaton", "controller_step_system",
+           "stg_step_automaton", "stg_step_system",
+           "DEFAULT_MAX_PRODUCT_STATES", "ORACLE_MAX_STATES"]
 
 _START = "start_"
 _DONE = "done_"
@@ -82,24 +101,38 @@ _RESTART = "restart"
 #: Controller-only strobes that have no STG counterpart.
 _CONTROLLER_ONLY = ("system_done",)
 
-#: Largest reachable product (per side) the bisimulation tier attempts.
-#: Calibrated on the 52-design bench suite: since the packed projection
-#: classes and the τ-chain compression in :mod:`repro.automata.bisim`
-#: landed, the 80-node scale graph (~2500 composite states, the old
-#: fallback) proves in a few seconds, so the whole suite fits the
-#: exhaustive tier (52/52 in ``BENCH_verify_composition.json``).
+#: Largest reachable product (per side) the *explicit* bisimulation
+#: tier attempts.  Only that tier materializes automata, so only it is
+#: bounded: the default symbolic tier explores lazily and proves
+#: designs of any size.  Calibrated on the bench suite: the 80-node
+#: scale graph (~2500 composite states) proves explicitly in a few
+#: seconds, so every pre-scale suite design fits the oracle bound.
 DEFAULT_MAX_PRODUCT_STATES = 4000
+
+#: Under ``strategy="auto"``, designs whose step systems both stay
+#: within this many states are additionally re-proved by the explicit
+#: bisimulation tier (and the symbolic tier's relational BDD image
+#: iteration is cross-checked against the enumerated reachable set).
+#: Deliberately below the suite's largest design: the oracle exists to
+#: keep the two tiers honest against each other on the broad population
+#: of small designs, not to re-pay the explicit cost on the long poles
+#: the symbolic tier was built to retire.
+ORACLE_MAX_STATES = 1200
 
 
 @dataclass(frozen=True)
 class CompositionCheck:
     """Outcome of one composed-controller vs. STG equivalence check.
 
-    ``tier`` is ``"bisimulation"`` (exhaustive: every admissible
-    environment, every stream length) or ``"sampled"`` (deterministic
-    environment family, ``activations`` streamed activations each).
-    ``fallback_reason`` records why the exhaustive tier was skipped
-    when the sampled tier produced the verdict.
+    ``tier`` is ``"symbolic"`` (exhaustive and unbounded: every
+    admissible environment, every stream length, lazy step systems +
+    BDD fixpoints), ``"bisimulation"`` (exhaustive via the explicit
+    materialized product, bounded by ``max_states``) or ``"sampled"``
+    (deterministic environment family, ``activations`` streamed
+    activations each).  ``fallback_reason`` records why an exhaustive
+    tier was skipped when the sampled tier produced the verdict;
+    ``oracle`` records the explicit cross-check verdict when the
+    symbolic tier ran it.
     """
 
     equivalent: bool
@@ -109,11 +142,24 @@ class CompositionCheck:
     starts_checked: int = 0
     actions_checked: int = 0
     composite_configurations: int = 0
-    #: Bisimulation tier: reachable step-automaton sizes and the number
-    #: of per-observable-class projections refined.
+    #: Exhaustive tiers: reachable step-system/automaton sizes and the
+    #: number of per-observable-class projections checked.
     product_states: int = 0
     reference_states: int = 0
     projections_checked: int = 0
+    #: Symbolic tier observability: determinized set pairs explored by
+    #: the per-class fixpoints, BDD image iterations of the relational
+    #: cross-check, and the owning engine's node / unique-table /
+    #: ite-hit-rate counters -- the numbers that make a verify
+    #: regression diagnosable from the bench JSON alone.
+    pairs_checked: int = 0
+    image_iterations: int = 0
+    bdd_nodes: int = 0
+    bdd_unique_table: int = 0
+    bdd_ite_hit_rate: float = 0.0
+    #: ``"agrees"`` / ``"disagrees"`` when the explicit oracle re-proved
+    #: the design under ``strategy="auto"``, None when it did not run.
+    oracle: str | None = None
     fallback_reason: str | None = None
     mismatches: tuple[str, ...] = ()
 
@@ -129,6 +175,12 @@ class CompositionCheck:
             "product_states": self.product_states,
             "reference_states": self.reference_states,
             "projections_checked": self.projections_checked,
+            "pairs_checked": self.pairs_checked,
+            "image_iterations": self.image_iterations,
+            "bdd_nodes": self.bdd_nodes,
+            "bdd_unique_table": self.bdd_unique_table,
+            "bdd_ite_hit_rate": self.bdd_ite_hit_rate,
+            "oracle": self.oracle,
             "fallback_reason": self.fallback_reason,
             "mismatches": list(self.mismatches),
         }
@@ -257,6 +309,83 @@ def stg_step_automaton(stg: Stg,
         max_states=max_states)
 
 
+# ----------------------------------------------------------------------
+# lazy step systems (the symbolic tier's unbounded side views)
+# ----------------------------------------------------------------------
+#: Fingerprint-keyed memo of *fully expanded* controller step systems:
+#: the symbolic verify tier and the guard don't-care harvester need the
+#: same exploration in one flow run.  Only fully expanded systems are
+#: published (expansion drives a single scratch composition, so a
+#: half-explored system is not shareable); once expanded they are
+#: read-only and therefore safe across the thread-backend BatchRunner.
+_STEP_SYSTEM_CACHE: "OrderedDict[str, LazyStepSystem]" = OrderedDict()
+_STEP_SYSTEM_CACHE_MAX = 8
+_STEP_SYSTEM_CACHE_LOCK = threading.Lock()
+
+
+def controller_step_system(controller: SystemController) -> LazyStepSystem:
+    """The harness composition as a fully expanded lazy step system.
+
+    The symbolic twin of :func:`controller_product_automaton`: same
+    scratch composition, same admissible closure, same state identity
+    and discovery order -- but states are dense indices and step rows
+    plain tuples, with no ``max_states`` bound and no automaton
+    materialization.  Memoized by controller fingerprint.
+    """
+    key = controller.fingerprint()
+    with _STEP_SYSTEM_CACHE_LOCK:
+        cached = _STEP_SYSTEM_CACHE.get(key)
+        if cached is not None:
+            _STEP_SYSTEM_CACHE.move_to_end(key)
+            return cached
+    components, config = controller_composition(controller)
+    phase = components[0]  # phase-first ordering set by controller_composition
+
+    def completed(config_key: tuple) -> bool:
+        states = SynchronousComposition.component_states(config_key)
+        return phase.name_of(states[0]) == PHASE_DONE_STATE
+
+    initial, step = composition_stepper(components, config,
+                                        held=(_RESTART,))
+    system = LazyStepSystem("controller_composition", initial, step,
+                            _AdmissibleEnvironment(completed))
+    system.expand_all()
+    with _STEP_SYSTEM_CACHE_LOCK:
+        _STEP_SYSTEM_CACHE[key] = system
+        while len(_STEP_SYSTEM_CACHE) > _STEP_SYSTEM_CACHE_MAX:
+            _STEP_SYSTEM_CACHE.popitem(last=False)
+    return system
+
+
+def stg_step_system(stg: Stg) -> LazyStepSystem:
+    """The STG's token-semantics step system under the same closure.
+
+    The symbolic twin of :func:`stg_step_automaton` -- one-round steps,
+    ``restart`` resetting the executor -- as an unbounded lazy step
+    system.  Not cached: the verifier expands it exactly once per
+    check, and the backing executor makes a half-shared system unsafe.
+    """
+    automaton = stg.to_automaton()
+    final = frozenset(automaton.index_of(s.name)
+                      for s in stg.states_of_kind(StateKind.GLOBAL_DONE))
+    executor = TokenExecutor(automaton, final=final)
+    symbols = automaton.symbols
+
+    def completed(snapshot: tuple) -> bool:
+        return executor.done_in(snapshot)
+
+    def step(snapshot: tuple, letter: frozenset):
+        if _RESTART in letter:
+            executor.reset()
+            return executor.snapshot(), ()
+        executor.restore(snapshot)
+        emitted = executor.step(symbols.ids_of(letter), max_rounds=1)
+        return executor.snapshot(), tuple(symbols.names_of(emitted))
+
+    return LazyStepSystem(f"{stg.name}_steps", executor.snapshot(), step,
+                          _AdmissibleEnvironment(completed))
+
+
 def _has_restart_edge(automaton) -> bool:
     """Does any reachable configuration admit the restart command?"""
     restart = automaton.symbols.id_of(_RESTART)
@@ -264,25 +393,44 @@ def _has_restart_edge(automaton) -> bool:
                                        for t in automaton.transitions)
 
 
-def _external_actions(automaton) -> set[str]:
-    symbols = automaton.symbols
-    return {symbols.name_of(a)
-            for t in automaton.transitions for a in t.actions}
+def _automaton_alphabet(automata) -> tuple[set[str], list[frozenset[str]]]:
+    """External actions + co-emission bursts of materialized automata."""
+    actions: set[str] = set()
+    bursts: list[frozenset[str]] = []
+    for automaton in automata:
+        symbols = automaton.symbols
+        for t in automaton.transitions:
+            names = symbols.names_of(t.actions)
+            actions.update(names)
+            if len(names) > 1:
+                bursts.append(frozenset(names))
+    return actions, bursts
 
 
-def _coemission_bursts(automaton) -> list[frozenset[str]]:
-    """Action sets emitted together in one step (either-side bursts)."""
-    symbols = automaton.symbols
-    return [frozenset(symbols.names_of(t.actions))
-            for t in automaton.transitions if len(t.actions) > 1]
+def _system_alphabet(systems) -> tuple[set[str], list[frozenset[str]]]:
+    """External actions + co-emission bursts of expanded step systems."""
+    actions: set[str] = set()
+    bursts: list[frozenset[str]] = []
+    seen: set[tuple] = set()
+    for system in systems:
+        for _state, _letter, step_actions, _succ in system.iter_rows():
+            if not step_actions or step_actions in seen:
+                continue
+            # rows intern action tuples, so distinct tuples are few
+            seen.add(step_actions)
+            actions.update(step_actions)
+            if len(step_actions) > 1:
+                bursts.append(frozenset(step_actions))
+    return actions, bursts
 
 
-def _observable_classes(reference, product,
+def _observable_classes(actions: set[str],
+                        bursts: list[frozenset[str]],
                         resource_of: dict[str, str]
                         ) -> list[tuple[str, frozenset[str]]]:
     """Partition the external action alphabet into projection classes.
 
-    The bisimulation tier compares the two sides once per class, with
+    The exhaustive tiers compare the two sides once per class, with
     exactly that class observable.  A class is *admissible* when no
     single step of either side emits two of its members -- the kernel
     interns a step's actions in canonical (sorted) order, so two
@@ -302,15 +450,21 @@ def _observable_classes(reference, product,
       observable, so the per-class check is strictly stronger than the
       old one-singleton-per-signal sweep -- and it collapses the
       hundreds of per-signal projections of a large design into a
-      handful, which is what lets the 80-node scale graph prove inside
-      the exhaustive tier.  Controller-only strobes are never
-      observable.
+      handful.  Controller-only strobes are never observable.
+
+    The conflict test is indexed per action (``action -> co-emitted
+    partners``) instead of scanning every burst per candidate class:
+    on the 80-node scale graph the flat scan was millions of frozenset
+    intersections and the single hottest line of the verify stage.
     """
-    actions = (_external_actions(reference) | _external_actions(product)) \
-        - set(_CONTROLLER_ONLY)
-    bursts = [burst for burst in
-              _coemission_bursts(reference) + _coemission_bursts(product)
-              if len(burst & actions) > 1]
+    actions = actions - set(_CONTROLLER_ONLY)
+    partners: dict[str, set[str]] = {}
+    for burst in bursts:
+        burst = burst & actions
+        if len(burst) <= 1:
+            continue
+        for action in burst:
+            partners.setdefault(action, set()).update(burst)
     owner: dict[str, str] = {f"reset_{r}": r
                              for r in sorted(set(resource_of.values()))}
     for action in actions:
@@ -326,15 +480,161 @@ def _observable_classes(reference, product,
             loose.append(action)
     classes: list[tuple[str, set[str]]] = sorted(
         (label, members) for label, members in seeds.items())
+    empty: set[str] = set()
     for action in loose:
+        conflicts = partners.get(action, empty)
         for _label, members in classes:
-            candidate = members | {action}
-            if not any(len(candidate & burst) > 1 for burst in bursts):
+            if not (conflicts & members):
                 members.add(action)
                 break
         else:
             classes.append((action, {action}))
     return [(label, frozenset(members)) for label, members in classes]
+
+
+def _schedule_sanity_mismatches(stg: Stg, graph, environments: int,
+                                max_cycles: int,
+                                activations: int) -> list[str]:
+    """STG-vs-schedule sanity: dependency order of the STG's own traces.
+
+    An equivalence tier proves controller ≡ STG, not STG ≡ schedule: a
+    broken STG faithfully mirrored by its controller would still pass,
+    so the task-graph dependency order of the STG's own traces is
+    checked separately (the controller side is then covered
+    transitively by the equivalence verdict).
+    """
+    if graph is None:
+        return []
+    mismatches: list[str] = []
+    for environment in range(environments):
+        stg_done, stg_traces = _run_stg(stg, environment, max_cycles,
+                                        activations)
+        if not stg_done:
+            mismatches.append(
+                f"env {environment}: STG never reached its global "
+                f"DONE state (activation {len(stg_traces) - 1}, "
+                f"schedule sanity)")
+        for index, actions in enumerate(stg_traces):
+            for src, dst in _dependency_violations(actions, graph.edges):
+                mismatches.append(
+                    f"env {environment} activation {index}: STG "
+                    f"trace starts {dst!r} before its producer "
+                    f"{src!r} (schedule sanity)")
+    return mismatches
+
+
+def _system_has_restart(system: LazyStepSystem) -> bool:
+    """Does any reachable state of the expanded system admit restart?
+
+    Letters are interned on first use, so the restart letter exists in
+    the system's alphabet iff some reachable (completed) configuration
+    admitted it -- the lazy twin of :func:`_has_restart_edge`.
+    """
+    return any(_RESTART in system.letter_of(letter_id)
+               for letter_id in range(system.n_letters))
+
+
+def _verify_symbolic(stg: Stg, controller: SystemController, graph,
+                     max_states: int, activations: int,
+                     environments: int, max_cycles: int,
+                     oracle: bool) -> CompositionCheck:
+    """Symbolic tier: unbounded lazy step systems + fixpoint equivalence.
+
+    With ``oracle`` (``strategy="auto"``), designs whose step systems
+    fit ``ORACLE_MAX_STATES`` are re-proved by the explicit
+    bisimulation tier -- a verdict disagreement is itself a mismatch --
+    and the relational BDD image iteration is cross-checked against
+    the enumerated reachable sets.  Raises
+    :class:`~repro.automata.AutomataError` only when the determinacy
+    contract of the pair fixpoint is violated (``strategy="auto"``
+    records that as the sampled tier's fallback reason).
+    """
+    product_system = controller_step_system(controller)
+    reference_system = stg_step_system(stg)
+    reference_system.expand_all()
+    actions, bursts = _system_alphabet((reference_system, product_system))
+    classes = _observable_classes(actions, bursts,
+                                  _node_resources(controller))
+    small = oracle and max(len(reference_system),
+                           len(product_system)) <= ORACLE_MAX_STATES
+    result = symbolic_trace_equivalence(reference_system, product_system,
+                                        classes, relational_check=small)
+
+    mismatches: list[str] = []
+    for verdict in result.verdicts:
+        if not verdict.equivalent:
+            mismatches.append(
+                f"projection {verdict.label!r}: STG and controller "
+                f"composition are not weakly trace-equivalent "
+                f"({verdict.explain('the STG', 'the controller composition')})")
+
+    # completion: restart is admissible exactly at completed
+    # configurations, so an interned restart letter *is* the proof that
+    # the activation can finish; this catches the *mirrored* deadlock
+    # trace equivalence is blind to (see _verify_exhaustive).
+    completion_ok = True
+    for system, what in ((reference_system, "STG"),
+                         (product_system, "controller composition")):
+        if not _system_has_restart(system):
+            completion_ok = False
+            mismatches.append(
+                f"{what} never completes an activation under any "
+                f"admissible environment (no restart-admissible "
+                f"configuration reached)")
+
+    mismatches.extend(_schedule_sanity_mismatches(stg, graph, environments,
+                                                  max_cycles, activations))
+
+    oracle_verdict: str | None = None
+    if small:
+        symbolic_core = result.equivalent and completion_ok
+        try:
+            explicit = _verify_exhaustive(stg, controller, None, max_states,
+                                          activations, environments,
+                                          max_cycles)
+        except AutomataError:
+            # the caller capped max_states below the oracle threshold:
+            # the symbolic verdict stands alone, exactly as on designs
+            # past the threshold
+            explicit = None
+        if explicit is not None:
+            if explicit.equivalent == symbolic_core:
+                oracle_verdict = "agrees"
+            else:
+                oracle_verdict = "disagrees"
+                mismatches.append(
+                    f"explicit bisimulation oracle disagrees with the "
+                    f"symbolic tier (explicit: "
+                    f"{'equivalent' if explicit.equivalent else 'inequivalent'}"
+                    f", symbolic: "
+                    f"{'equivalent' if symbolic_core else 'inequivalent'}; "
+                    f"explicit mismatches: "
+                    f"{'; '.join(explicit.mismatches) or 'none'})")
+
+    starts = 0
+    actions_total = 0
+    for _state, _letter, step_actions, _succ in reference_system.iter_rows():
+        actions_total += len(step_actions)
+        starts += sum(1 for action in step_actions
+                      if action.startswith(_START))
+    return CompositionCheck(
+        equivalent=not mismatches,
+        tier="symbolic",
+        environments=0,
+        activations=activations,
+        starts_checked=starts,
+        actions_checked=actions_total,
+        composite_configurations=len(product_system),
+        product_states=len(product_system),
+        reference_states=len(reference_system),
+        projections_checked=len(classes),
+        pairs_checked=result.pairs_checked,
+        image_iterations=result.image_iterations,
+        bdd_nodes=result.bdd_stats["nodes"],
+        bdd_unique_table=result.bdd_stats["unique_table"],
+        bdd_ite_hit_rate=result.bdd_stats["ite_hit_rate"],
+        oracle=oracle_verdict,
+        mismatches=tuple(mismatches))
 
 
 def _verify_exhaustive(stg: Stg, controller: SystemController, graph,
@@ -344,7 +644,8 @@ def _verify_exhaustive(stg: Stg, controller: SystemController, graph,
     """Bisimulation tier; raises AutomataError when the product is too big."""
     product = controller_product_automaton(controller, max_states)
     reference = stg_step_automaton(stg, max_states)
-    classes = _observable_classes(reference, product,
+    actions, bursts = _automaton_alphabet((reference, product))
+    classes = _observable_classes(actions, bursts,
                                   _node_resources(controller))
     mismatches: list[str] = []
     for label, observable in classes:
@@ -368,27 +669,8 @@ def _verify_exhaustive(stg: Stg, controller: SystemController, graph,
                 f"admissible environment (no restart-admissible "
                 f"configuration reached)")
 
-    # bisimulation proves controller ≡ STG, not STG ≡ schedule: a
-    # broken STG faithfully mirrored by its controller would still
-    # pass, so the task-graph dependency order of the STG's own traces
-    # is sanity-checked separately (the controller side is then covered
-    # transitively by the bisimulation verdict)
-    if graph is not None:
-        for environment in range(environments):
-            stg_done, stg_traces = _run_stg(stg, environment, max_cycles,
-                                            activations)
-            if not stg_done:
-                mismatches.append(
-                    f"env {environment}: STG never reached its global "
-                    f"DONE state (activation {len(stg_traces) - 1}, "
-                    f"schedule sanity)")
-            for index, actions in enumerate(stg_traces):
-                for src, dst in _dependency_violations(actions,
-                                                       graph.edges):
-                    mismatches.append(
-                        f"env {environment} activation {index}: STG "
-                        f"trace starts {dst!r} before its producer "
-                        f"{src!r} (schedule sanity)")
+    mismatches.extend(_schedule_sanity_mismatches(stg, graph, environments,
+                                                  max_cycles, activations))
 
     symbols = reference.symbols
     starts = sum(1 for t in reference.transitions
@@ -655,35 +937,43 @@ def verify_composition(stg: Stg, controller: SystemController,
                        strategy: str = "auto") -> CompositionCheck:
     """Check the communicating-controller composition against ``stg``.
 
-    ``strategy`` selects the tier: ``"auto"`` (default) attempts the
-    exhaustive bisimulation tier and falls back to environment sampling
-    when the reachable product exceeds ``max_states`` (the fallback
-    reason is recorded on the check); ``"exhaustive"`` demands the
-    bisimulation tier (raising :class:`~repro.automata.AutomataError`
-    when it does not fit); ``"sampled"`` forces the sampling tier.
+    ``strategy`` selects the tier: ``"auto"`` (default) runs the
+    unbounded symbolic tier, re-proves oracle-sized designs with the
+    explicit bisimulation tier, and falls back to environment sampling
+    only when the symbolic tier's determinacy contract is violated (the
+    fallback reason is recorded on the check); ``"symbolic"`` demands
+    the symbolic tier alone (no oracle, raising
+    :class:`~repro.automata.AutomataError` instead of falling back);
+    ``"exhaustive"`` demands the explicit bisimulation tier (raising
+    when the product exceeds ``max_states``); ``"sampled"`` forces the
+    sampling tier.  ``max_states`` only bounds the explicit tier -- the
+    symbolic tier has no state bound, which is the point of it.
 
     ``activations`` streams that many back-to-back activations through
-    the restart path in the sampled tier (the bisimulation tier's
-    restart loop covers every stream length).  ``graph`` (a
+    the restart path in the sampled tier (the exhaustive tiers' restart
+    loop covers every stream length).  ``graph`` (a
     :class:`~repro.graph.taskgraph.TaskGraph`) additionally enables the
     data-dependency order check: on the sampled traces of both sides in
-    tier 2, and as an STG-vs-schedule sanity check in tier 1 (where the
-    controller side is covered transitively by the bisimulation
-    verdict; see the module docstring).
+    the sampled tier, and as an STG-vs-schedule sanity check in the
+    exhaustive tiers (where the controller side is covered transitively
+    by the equivalence verdict; see the module docstring).
     """
-    if strategy not in ("auto", "exhaustive", "sampled"):
+    if strategy not in ("auto", "symbolic", "exhaustive", "sampled"):
         raise ValueError(f"unknown verification strategy {strategy!r}")
     if activations < 1:
         raise ValueError("verification needs at least one activation")
     fallback_reason: str | None = None
-    if strategy in ("auto", "exhaustive"):
+    if strategy in ("auto", "symbolic"):
         try:
-            return _verify_exhaustive(stg, controller, graph, max_states,
-                                      activations, environments,
-                                      max_cycles)
+            return _verify_symbolic(stg, controller, graph, max_states,
+                                    activations, environments, max_cycles,
+                                    oracle=strategy == "auto")
         except AutomataError as exc:
-            if strategy == "exhaustive":
+            if strategy == "symbolic":
                 raise
             fallback_reason = str(exc)
+    elif strategy == "exhaustive":
+        return _verify_exhaustive(stg, controller, graph, max_states,
+                                  activations, environments, max_cycles)
     return _verify_sampled(stg, controller, graph, environments,
                            max_cycles, activations, fallback_reason)

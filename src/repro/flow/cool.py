@@ -146,7 +146,16 @@ class FlowResult:
             check = self.composition_check
             verdict = "equivalent" if check.equivalent \
                 else "MISMATCH: " + "; ".join(check.mismatches)
-            if check.tier == "bisimulation":
+            if check.tier == "symbolic":
+                oracle = f", explicit oracle {check.oracle}" \
+                    if check.oracle else ""
+                evidence = (f"symbolic fixpoint, "
+                            f"{check.product_states} product states, "
+                            f"{check.projections_checked} projections, "
+                            f"{check.bdd_nodes} BDD nodes "
+                            f"(ite hit rate {check.bdd_ite_hit_rate:.0%})"
+                            f"{oracle}, streamed restarts included")
+            elif check.tier == "bisimulation":
                 evidence = (f"exhaustive bisimulation, "
                             f"{check.product_states} product states, "
                             f"{check.projections_checked} projections, "
@@ -426,10 +435,11 @@ class CoolFlow:
         self.verify_composition = verify_composition
         #: Tier knobs forwarded to
         #: :func:`repro.controllers.verify.verify_composition`:
-        #: largest reachable product the exhaustive bisimulation tier
-        #: attempts, and the strategy ("auto" | "exhaustive" |
-        #: "sampled").  Part of the verify stage's fingerprint, so
-        #: changing either re-runs exactly that stage.
+        #: largest reachable product the *explicit* bisimulation tier
+        #: attempts (the default symbolic tier is unbounded), and the
+        #: strategy ("auto" | "symbolic" | "exhaustive" | "sampled").
+        #: Part of the verify stage's fingerprint, so changing either
+        #: re-runs exactly that stage.
         self.verify_max_states = verify_max_states
         self.verify_strategy = verify_strategy
         #: Route the codegen stage's FSM cascades through the symbolic

@@ -12,7 +12,11 @@ arbitrary boolean functions without giving up canonicity:
   (Minato-Morreale ISOP, expand, irredundant) for emitting compact
   sum-of-products expressions;
 * :mod:`repro.symbolic.guards` -- the :class:`Guard` value kernel
-  transitions carry on the non-plain path.
+  transitions carry on the non-plain path;
+* :mod:`repro.symbolic.relation` -- quantification, variable-pairing
+  substitution and the ``and_exists`` relational product with
+  early-quantification image scheduling, the substrate of the symbolic
+  verification tier (:mod:`repro.automata.symbolic`).
 
 Integration with the automaton kernel lives in
 :mod:`repro.automata.simplify` (guard-merging minimization and
@@ -25,10 +29,14 @@ from .cover import (Cube, cover_literals, cover_node, cube_node,
                     expand_cubes, irredundant_cover, isop, minimal_cover,
                     render_cover)
 from .guards import Guard, guard_from_cover, plain_cube
+from .relation import (VariablePairing, and_exists, exists, forall,
+                       reachable_states, relational_image, rename)
 
 __all__ = [
     "FALSE", "TRUE", "BddEngine", "BddError",
     "Cube", "cover_literals", "cover_node", "cube_node", "expand_cubes",
     "irredundant_cover", "isop", "minimal_cover", "render_cover",
     "Guard", "guard_from_cover", "plain_cube",
+    "VariablePairing", "and_exists", "exists", "forall",
+    "reachable_states", "relational_image", "rename",
 ]

@@ -50,7 +50,7 @@ class BddEngine:
     """
 
     __slots__ = ("_var", "_low", "_high", "_unique", "_ite_cache",
-                 "_var_nodes")
+                 "_var_nodes", "_ite_calls", "_ite_hits")
 
     def __init__(self) -> None:
         # index-aligned node arrays; slots 0/1 are the terminals
@@ -60,6 +60,9 @@ class BddEngine:
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
         self._var_nodes: dict[int, int] = {}
+        #: non-terminal ite calls / computed-table hits, for stats()
+        self._ite_calls = 0
+        self._ite_hits = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -115,8 +118,10 @@ class BddEngine:
         if g == TRUE and h == FALSE:
             return f
         key = (f, g, h)
+        self._ite_calls += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._ite_hits += 1
             return cached
         var = self._var
         level = min(var[f], var[g], var[h])
@@ -268,6 +273,23 @@ class BddEngine:
     def __len__(self) -> int:
         """Total nodes ever built (terminals included)."""
         return len(self._var)
+
+    def stats(self) -> dict:
+        """Observability counters for verify-regression diagnosis.
+
+        ``nodes`` counts every node ever hash-consed (terminals
+        included, nothing is ever garbage-collected), ``unique_table``
+        is the live unique-table population, and ``ite_hit_rate`` is
+        the computed-table hit fraction over the non-terminal ``ite``
+        calls so far (1.0-worthy workloads re-derive nothing).
+        """
+        return {
+            "nodes": len(self._var),
+            "unique_table": len(self._unique),
+            "ite_calls": self._ite_calls,
+            "ite_hit_rate": (round(self._ite_hits / self._ite_calls, 4)
+                             if self._ite_calls else 0.0),
+        }
 
     # ------------------------------------------------------------------
     def _mk(self, variable: int, low: int, high: int) -> int:

@@ -8,14 +8,14 @@ designs from a single seed.
 """
 
 from .generators import (ChainSpec, DctSpec, EqualizerSpec, ForkJoinSpec,
-                         GENERATOR_VERSION, LayeredDagSpec, TreeSpec,
-                         WorkloadError, WorkloadSpec)
-from .suite import (DEFAULT_FAMILIES, build_graphs, stimuli_for,
-                    workload_suite)
+                         GENERATOR_VERSION, LayeredDagSpec, RandomDagSpec,
+                         TreeSpec, WorkloadError, WorkloadSpec)
+from .suite import (DEFAULT_FAMILIES, SCALE_SUITE_SIZES, build_graphs,
+                    scale_suite, stimuli_for, workload_suite)
 
 __all__ = [
     "WorkloadError", "WorkloadSpec", "LayeredDagSpec", "ForkJoinSpec",
-    "ChainSpec", "TreeSpec", "EqualizerSpec", "DctSpec",
-    "GENERATOR_VERSION", "DEFAULT_FAMILIES", "workload_suite",
-    "build_graphs", "stimuli_for",
+    "ChainSpec", "TreeSpec", "EqualizerSpec", "DctSpec", "RandomDagSpec",
+    "GENERATOR_VERSION", "DEFAULT_FAMILIES", "SCALE_SUITE_SIZES",
+    "workload_suite", "scale_suite", "build_graphs", "stimuli_for",
 ]

@@ -17,7 +17,11 @@ Families
 * :class:`ChainSpec` -- a linear pipeline of stages;
 * :class:`TreeSpec` -- leaves reduced by a balanced operator tree;
 * :class:`EqualizerSpec` / :class:`DctSpec` -- parameterized families of
-  the paper's own applications (Fig. 2 equalizer, the DCT stage).
+  the paper's own applications (Fig. 2 equalizer, the DCT stage);
+* :class:`RandomDagSpec` -- the unconstrained TGFF-style generator of
+  :func:`repro.apps.random_task_graph` as a spec family, the shape the
+  scale sweeps use for 200..500-node designs whose reachable products
+  only the symbolic verification tier can prove.
 
 All generated graphs pass :func:`repro.graph.check_graph` and use node
 kinds with executable semantics, so a generated workload can run the
@@ -32,12 +36,14 @@ from dataclasses import dataclass
 
 from ..apps.dct import dct_stage
 from ..apps.equalizer import four_band_equalizer
+from ..apps.random_graphs import random_task_graph
 from ..fingerprint import content_hash
 from ..graph.taskgraph import TaskGraph, make_node
 from ..graph.validate import check_graph
 
 __all__ = ["WorkloadError", "WorkloadSpec", "LayeredDagSpec", "ForkJoinSpec",
-           "ChainSpec", "TreeSpec", "EqualizerSpec", "DctSpec"]
+           "ChainSpec", "TreeSpec", "EqualizerSpec", "DctSpec",
+           "RandomDagSpec"]
 
 #: Bump when a generator's construction changes shape for the same spec,
 #: so stale cross-run cache entries keyed on a spec can never alias the
@@ -466,3 +472,41 @@ class DctSpec(WorkloadSpec):
             else self.points
         return _with_name(graph, f"dct_p{self.points}_c{n_coeff}"
                                  f"_s{self.seed}")
+
+
+@dataclass(frozen=True)
+class RandomDagSpec(WorkloadSpec):
+    """Family of unconstrained random layered DAGs at arbitrary size.
+
+    Wraps :func:`repro.apps.random_task_graph` (the generator the
+    partitioner-comparison scale sweeps always used) as a spec, so the
+    200..500-node designs of the verification scale suite are first-
+    class suite members: fingerprinted, cacheable and reproducible from
+    the spec alone.  Unlike :class:`LayeredDagSpec` this family does
+    not bound its width, which is what makes its reachable composition
+    products outgrow the explicit verifier's ``max_states`` -- the
+    population the symbolic tier exists for.
+    """
+
+    nodes: int = 200
+    inputs: int = 2
+    outputs: int = 2
+    max_fanin: int = 3
+    words: int = 4
+    width: int = 16
+    mac_bias: float = 0.5
+
+    @property
+    def family(self) -> str:
+        return "random"
+
+    def _build(self) -> TaskGraph:
+        if self.nodes < 3:
+            raise WorkloadError(f"a random DAG needs at least 3 nodes, "
+                                f"got {self.nodes}")
+        return random_task_graph(self.nodes, seed=self.seed,
+                                 n_inputs=self.inputs,
+                                 n_outputs=self.outputs,
+                                 max_fanin=self.max_fanin,
+                                 words=self.words, width=self.width,
+                                 mac_bias=self.mac_bias)

@@ -14,15 +14,20 @@ from typing import Iterable, Mapping, Sequence
 
 from ..graph.taskgraph import TaskGraph
 from .generators import (ChainSpec, DctSpec, EqualizerSpec, ForkJoinSpec,
-                         LayeredDagSpec, TreeSpec, WorkloadError,
-                         WorkloadSpec)
+                         LayeredDagSpec, RandomDagSpec, TreeSpec,
+                         WorkloadError, WorkloadSpec)
 
-__all__ = ["DEFAULT_FAMILIES", "workload_suite", "build_graphs",
-           "stimuli_for"]
+__all__ = ["DEFAULT_FAMILIES", "SCALE_SUITE_SIZES", "workload_suite",
+           "scale_suite", "build_graphs", "stimuli_for"]
 
 #: Family sampling order of :func:`workload_suite`.
 DEFAULT_FAMILIES = ("layered", "fork_join", "chain", "tree", "equalizer",
                     "dct")
+
+#: Node counts of the default :func:`scale_suite` -- the designs whose
+#: reachable composition products outgrow the explicit verifier's
+#: ``max_states`` and are only provable by the symbolic tier.
+SCALE_SUITE_SIZES = (200, 500)
 
 
 def _sample(family: str, rng: random.Random, seed: int) -> WorkloadSpec:
@@ -75,6 +80,23 @@ def workload_suite(count: int, seed: int = 0,
     rng = random.Random(f"workload-suite:{seed}")
     return [_sample(families[i % len(families)], rng, seed=seed * 100_000 + i)
             for i in range(count)]
+
+
+def scale_suite(sizes: Sequence[int] = SCALE_SUITE_SIZES
+                ) -> list[RandomDagSpec]:
+    """Beyond-``max_states`` spec variants: one random DAG per size.
+
+    The verification scale population: each spec seeds its generator
+    with its own node count (matching the long-standing scale-graph
+    convention of the benches, so ``sizes=(80,)`` reproduces the
+    ``random_80_80`` design bit-for-bit).  Kept out of
+    :func:`workload_suite`'s sampled rotation on purpose -- a 500-node
+    member would dominate any sweep it appeared in; callers opt into
+    scale explicitly.
+    """
+    if not sizes:
+        raise WorkloadError("scale suite needs at least one size")
+    return [RandomDagSpec(seed=size, nodes=size) for size in sizes]
 
 
 def build_graphs(specs: Iterable[WorkloadSpec]) -> list[TaskGraph]:

@@ -1,10 +1,12 @@
 """Tests for verified composition: product-of-controllers ≡ minimized STG.
 
-Covers the tiered checker on the bundled apps (exhaustive bisimulation
-for small designs, environment sampling as recorded fallback), the
-``verify`` pipeline stage (FlowResult exposure + fingerprint caching +
-tier configuration) and the detector's teeth: a tampered controller
-must be caught by *both* tiers.
+Covers the tiered checker on the bundled apps (the unbounded symbolic
+fixpoint tier as default with the explicit bisimulation tier as its
+oracle, environment sampling as recorded fallback), the ``verify``
+pipeline stage (FlowResult exposure + fingerprint caching + tier
+configuration) and the detector's teeth: a tampered controller must be
+caught by *every* tier, with a concrete distinguishing trace from the
+symbolic one.
 """
 
 import types
@@ -72,15 +74,23 @@ BUNDLED = [
 ]
 
 
-class TestExhaustiveTier:
+class TestSymbolicTier:
     @pytest.mark.parametrize("graph,arch,hw", BUNDLED,
                              ids=lambda value: getattr(value, "name", None))
-    def test_bundled_apps_proved_bisimilar(self, graph, arch, hw):
+    def test_bundled_apps_proved_equivalent(self, graph, arch, hw):
         graph, mini, controller = implementation(graph, arch, hw)
         check = verify_composition(mini, controller, graph=graph)
         assert check.equivalent, check.mismatches
-        assert check.tier == "bisimulation"
+        assert check.tier == "symbolic"
         assert check.fallback_reason is None
+        # oracle-sized designs are re-proved by the explicit tier and
+        # the relational BDD image iteration; its stats must surface
+        assert check.oracle == "agrees"
+        assert check.image_iterations > 0
+        assert check.bdd_nodes > 0
+        assert check.bdd_unique_table > 0
+        assert 0.0 < check.bdd_ite_hit_rate <= 1.0
+        assert check.pairs_checked > 0
         # one projection per processing unit plus one per memory command
         assert check.projections_checked > len(controller.sequencers)
         assert check.product_states > len(controller.phase_fsm.states)
@@ -100,12 +110,32 @@ class TestExhaustiveTier:
                      if restart in t.conditions]
             assert loops, f"{automaton.name} has no restart edge"
 
-    def test_tampered_controller_fails_bisimulation(self):
+    def test_tampered_controller_fails_every_tier(self):
         graph, mini, controller = implementation(*BUNDLED[0])
-        check = verify_composition(mini, tamper(controller), graph=graph)
+        tampered = tamper(controller)
+        # symbolic tier (forced: no oracle assist) with a concrete
+        # shortest distinguishing trace in ?letter/!action form
+        check = verify_composition(mini, tampered, graph=graph,
+                                   strategy="symbolic")
+        assert check.tier == "symbolic"
+        assert not check.equivalent
+        trace_mismatches = [m for m in check.mismatches
+                            if "not weakly trace-equivalent" in m]
+        assert trace_mismatches
+        assert any("trace " in m and " is possible only in " in m
+                   for m in trace_mismatches)
+        assert any("!start_" in m for m in trace_mismatches)
+        # explicit bisimulation tier independently
+        check = verify_composition(mini, tampered, graph=graph,
+                                   strategy="exhaustive")
         assert check.tier == "bisimulation"
         assert not check.equivalent
         assert any("not weakly bisimilar" in m for m in check.mismatches)
+        # and the default auto tier's oracle agrees both are inequivalent
+        check = verify_composition(mini, tampered, graph=graph)
+        assert check.tier == "symbolic"
+        assert not check.equivalent
+        assert check.oracle == "agrees"
 
     def test_unminimized_stg_also_equivalent(self):
         graph = four_band_equalizer(words=8)
@@ -120,21 +150,42 @@ class TestExhaustiveTier:
         controller = synthesize_system_controller(stg)
         check = verify_composition(stg, controller, graph=graph)
         assert check.equivalent, check.mismatches
-        assert check.tier == "bisimulation"
+        assert check.tier == "symbolic"
 
-    def test_oversized_product_falls_back_with_reason(self):
+    def test_max_states_no_longer_limits_the_default_tier(self):
+        # the symbolic tier is unbounded: a max_states far below the
+        # reachable product must still produce a symbolic proof (the
+        # explicit oracle silently sits out -- it cannot materialize)
         graph, mini, controller = implementation(*BUNDLED[0])
         check = verify_composition(mini, controller, graph=graph,
                                    max_states=5)
+        assert check.tier == "symbolic"
+        assert check.equivalent, check.mismatches
+        assert check.fallback_reason is None
+        assert check.oracle is None
+
+    def test_fixpoint_blowup_falls_back_with_reason(self, monkeypatch):
+        # the sampled fallback survives for symbolic-tier failures: a
+        # violated determinacy contract (simulated by shrinking the
+        # pair-fixpoint safety valve) must land on the sampled tier
+        # with the reason recorded
+        import repro.automata.symbolic as symbolic
+        graph, mini, controller = implementation(*BUNDLED[0])
+        monkeypatch.setattr(symbolic, "MAX_PAIR_FIXPOINT", 1)
+        check = verify_composition(mini, controller, graph=graph)
         assert check.tier == "sampled"
         assert check.equivalent
-        assert "exceeds" in check.fallback_reason
+        assert "pair fixpoint exceeds" in check.fallback_reason
 
-    def test_exhaustive_strategy_refuses_to_fall_back(self):
+    def test_strict_strategies_refuse_to_fall_back(self, monkeypatch):
+        import repro.automata.symbolic as symbolic
         _, mini, controller = implementation(*BUNDLED[0])
         with pytest.raises(AutomataError):
             verify_composition(mini, controller, max_states=5,
                                strategy="exhaustive")
+        monkeypatch.setattr(symbolic, "MAX_PAIR_FIXPOINT", 1)
+        with pytest.raises(AutomataError):
+            verify_composition(mini, controller, strategy="symbolic")
 
     def test_mirrored_deadlock_detected(self):
         # an STG stuck behind an unsatisfiable guard, faithfully
@@ -166,10 +217,16 @@ class TestExhaustiveTier:
         stg.add_transition(StgTransition("d_a", "D"))
         controller = synthesize_system_controller(stg)
         check = verify_composition(stg, controller)
-        assert check.tier == "bisimulation"
+        assert check.tier == "symbolic"
         assert not check.equivalent
         assert sum("never completes an activation" in m
                    for m in check.mismatches) == 2
+        # the explicit tier sees the same structural deadlock
+        explicit = verify_composition(stg, controller,
+                                      strategy="exhaustive")
+        assert not explicit.equivalent
+        assert sum("never completes an activation" in m
+                   for m in explicit.mismatches) == 2
 
     def test_schedule_sanity_catches_a_mirrored_dependency_bug(self):
         # bisimulation alone cannot see a schedule bug both sides
@@ -180,7 +237,7 @@ class TestExhaustiveTier:
         reversed_edge = types.SimpleNamespace(
             edges=[types.SimpleNamespace(src="gain0", dst="band0")])
         check = verify_composition(mini, controller, graph=reversed_edge)
-        assert check.tier == "bisimulation"
+        assert check.tier == "symbolic"
         assert not check.equivalent
         assert any("schedule sanity" in m for m in check.mismatches)
 
@@ -280,14 +337,16 @@ class TestVerifyFlowStage:
         _, _, result = flow_and_result
         assert result.composition_check is not None
         assert result.composition_check.equivalent
-        assert result.composition_check.tier == "bisimulation"
+        assert result.composition_check.tier == "symbolic"
         assert result.stage_runs.get("verify") == 1
         assert "verify" in result.stage_seconds
 
     def test_report_mentions_verification(self, flow_and_result):
         _, _, result = flow_and_result
         assert "verified composition" in result.report()
-        assert "exhaustive bisimulation" in result.report()
+        assert "symbolic fixpoint" in result.report()
+        assert "BDD nodes" in result.report()
+        assert "explicit oracle agrees" in result.report()
 
     def test_stage_is_fingerprint_cached(self, flow_and_result):
         flow, graph, _ = flow_and_result
@@ -320,25 +379,31 @@ class TestVerifyFlowStage:
 
 
 class TestObservableClassDeterminism:
-    """Pin: the projection class partition must not depend on hash order.
+    """Pin: the symbolic verdict must not depend on hash order.
 
     ``_observable_classes`` seeds its per-unit classes from the distinct
     resource names, and the greedy packing of memory commands runs over
     the resulting class list -- if unordered-set iteration ever escaped
     into that list (the site at verify.py previously iterated
     ``set(resource_of.values())`` unsorted), two hosts could check and
-    label different projections.  Computing the partition under two
-    different ``PYTHONHASHSEED`` values must give identical results.
+    label different projections.  Downstream, the symbolic tier's
+    interleaved variable order, pair-fixpoint exploration and BDD
+    construction must be equally hash-independent: the pinned evidence
+    is the full stats row of a symbolic run (pairs explored per class,
+    engine node/unique-table counts, reachable-set BDD sizes).
+    Computing all of it under two different ``PYTHONHASHSEED`` values
+    must give identical results.
     """
 
     SCRIPT = """
 import json
 from repro.apps import four_band_equalizer
 from repro.controllers import synthesize_system_controller
-from repro.controllers.verify import (DEFAULT_MAX_PRODUCT_STATES,
-                                      _node_resources, _observable_classes,
-                                      controller_product_automaton,
-                                      stg_step_automaton)
+from repro.controllers.verify import (_node_resources, _observable_classes,
+                                      _system_alphabet,
+                                      controller_step_system,
+                                      stg_step_system)
+from repro.automata import symbolic_trace_equivalence
 from repro.estimate import CostModel
 from repro.graph import from_mapping
 from repro.platform import minimal_board
@@ -354,12 +419,23 @@ partition = from_mapping(graph, mapping, arch.fpga_names,
 schedule = list_schedule(partition, CostModel(graph, arch))
 mini, _ = minimize_stg(build_stg(schedule))
 controller = synthesize_system_controller(mini)
-product = controller_product_automaton(controller,
-                                       DEFAULT_MAX_PRODUCT_STATES)
-reference = stg_step_automaton(mini, DEFAULT_MAX_PRODUCT_STATES)
-classes = _observable_classes(reference, product,
-                              _node_resources(controller))
-print(json.dumps([[label, sorted(members)] for label, members in classes]))
+product = controller_step_system(controller)
+reference = stg_step_system(mini)
+reference.expand_all()
+actions, bursts = _system_alphabet((reference, product))
+classes = _observable_classes(actions, bursts, _node_resources(controller))
+result = symbolic_trace_equivalence(reference, product, classes,
+                                    relational_check=True)
+print(json.dumps({
+    "classes": [[label, sorted(members)] for label, members in classes],
+    "equivalent": result.equivalent,
+    "pairs": [[v.label, v.pairs] for v in result.verdicts],
+    "states": [result.left_states, result.right_states],
+    "image_iterations": result.image_iterations,
+    "bdd": {key: value for key, value in sorted(result.bdd_stats.items())
+            if key != "ite_hit_rate"},
+    "ite_hit_rate": round(result.bdd_stats["ite_hit_rate"], 9),
+}))
 """
 
     def _classes_under_hash_seed(self, seed):
@@ -377,8 +453,11 @@ print(json.dumps([[label, sorted(members)] for label, members in classes]))
         import json
         return json.loads(completed.stdout)
 
-    def test_classes_identical_across_hash_seeds(self):
+    def test_symbolic_run_identical_across_hash_seeds(self):
         first = self._classes_under_hash_seed(0)
         second = self._classes_under_hash_seed(4242)
         assert first == second
-        assert len(first) > 1  # the partition is non-trivial
+        assert first["equivalent"]
+        assert len(first["classes"]) > 1  # the partition is non-trivial
+        assert first["image_iterations"] > 0
+        assert first["bdd"]["nodes"] > 0

@@ -3,12 +3,15 @@
 import pytest
 
 from repro.graph import execute, validate_graph
-from repro.workloads import (ChainSpec, DctSpec, EqualizerSpec, ForkJoinSpec,
-                             LayeredDagSpec, TreeSpec, WorkloadError,
-                             build_graphs, stimuli_for, workload_suite)
+from repro.workloads import (SCALE_SUITE_SIZES, ChainSpec, DctSpec,
+                             EqualizerSpec, ForkJoinSpec, LayeredDagSpec,
+                             RandomDagSpec, TreeSpec, WorkloadError,
+                             build_graphs, scale_suite, stimuli_for,
+                             workload_suite)
 
 ALL_SPECS = [LayeredDagSpec(seed=1), ForkJoinSpec(seed=2), ChainSpec(seed=3),
-             TreeSpec(seed=4), EqualizerSpec(seed=5), DctSpec(seed=6)]
+             TreeSpec(seed=4), EqualizerSpec(seed=5), DctSpec(seed=6),
+             RandomDagSpec(seed=7, nodes=24)]
 
 
 class TestGenerators:
@@ -149,6 +152,20 @@ class TestSuite:
             workload_suite(3, families=())
         with pytest.raises(WorkloadError):
             workload_suite(3, families=("nope",))
+
+    def test_scale_suite_names_the_bench_scale_designs(self):
+        specs = scale_suite()
+        assert [s.nodes for s in specs] == list(SCALE_SUITE_SIZES)
+        # the seed-equals-size convention reproduces the benches' scale
+        # graphs (random_80_80 and friends) bit-for-bit
+        graph = scale_suite((80,))[0].build()
+        assert graph.name == "random_80_80"
+        assert len(list(graph.nodes)) == 80
+        assert validate_graph(graph) == []
+        with pytest.raises(WorkloadError):
+            scale_suite(())
+        with pytest.raises(WorkloadError):
+            RandomDagSpec(seed=1, nodes=2).build()
 
     def test_stimuli_are_deterministic_and_shaped(self):
         graph = LayeredDagSpec(seed=8).build()
