@@ -28,10 +28,12 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
 
+from bench_artifact_store import fresh_process_sweep
 from repro.flow import BatchRunner, DesignSpaceExplorer, FlowJob
 from repro.partition import GreedyPartitioner
 from repro.platform import minimal_board
@@ -42,6 +44,12 @@ RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard_sweep.json"
 DEFAULT_DESIGNS = 200
 DEFAULT_WORKERS = 4
 SUITE_SEED = 13
+
+#: Suite size of the restart-the-process warm-start assertion (an
+#: always-enforced correctness gate, not a perf measurement, so it runs
+#: on a deliberately small sub-suite even at full benchmark size).
+RESTART_DESIGNS = 8
+RESTART_L2_GATE = 0.5
 
 #: The speedup gate is only meaningful at full suite size on a host with
 #: at least this many cores; smaller runs record why it was skipped.
@@ -113,6 +121,27 @@ def measure(n_designs: int = DEFAULT_DESIGNS, seed: int = SUITE_SEED,
     outcomes = BatchRunner(shards=2, max_workers=2).run(
         jobs, progress=lambda o, d, t: order.append(o.job.name))
 
+    # restart-the-process warm start: a brand-new python process swept
+    # against the store the first one left behind must be served from
+    # the persistent tier and reproduce the same points bit-exactly
+    restart_designs = min(RESTART_DESIGNS, n_designs)
+    with tempfile.TemporaryDirectory(prefix="bench-shard-store-") as root:
+        store_path = Path(root) / "store"
+        first = fresh_process_sweep(restart_designs, seed, 2, store_path)
+        second = fresh_process_sweep(restart_designs, seed, 2, store_path)
+    restart_l2 = second["cache"]["l2"]
+    warm_restart = {
+        "designs": restart_designs,
+        "process_restarted": first["pid"] != second["pid"],
+        "identical": all(second[view] == first[view]
+                         for view in ("points", "pareto", "ranked")),
+        "l2_hit_rate": round(
+            restart_l2["hits"]
+            / max(1, restart_l2["hits"] + restart_l2["misses"]), 4),
+        "required": RESTART_L2_GATE,
+        "cold_fallbacks": second["cache"]["cold_fallbacks"],
+    }
+
     return {
         "suite": {
             "designs": len(specs),
@@ -153,6 +182,7 @@ def measure(n_designs: int = DEFAULT_DESIGNS, seed: int = SUITE_SEED,
                                  None),
             "poison_rejected_first": bool(order) and order[0] == "poison",
         },
+        "warm_restart": warm_restart,
     }
 
 
@@ -181,6 +211,16 @@ def check(payload: dict) -> None:
     assert "pickle" in isolation["poison_error"].lower()
     assert isolation["poison_rejected_first"], \
         "poisoned jobs must be rejected before the map stage runs"
+    restart = payload["warm_restart"]
+    assert restart["process_restarted"], \
+        "the warm-restart sweep must have run in a fresh process"
+    assert restart["identical"], \
+        "a restarted process against the store must reproduce the points"
+    assert restart["l2_hit_rate"] >= restart["required"], \
+        (f"restarted process must be served from the persistent tier "
+         f"(L2 hit rate >= {restart['required']}, "
+         f"got {restart['l2_hit_rate']})")
+    assert restart["cold_fallbacks"] == 0
 
 
 def report(payload: dict) -> str:
@@ -209,6 +249,11 @@ def report(payload: dict) -> str:
     isolation = payload["isolation"]
     lines.append(f"  isolation           : {isolation['failed_outcomes']} "
                  f"poisoned job rejected at submission, sweep survived")
+    restart = payload["warm_restart"]
+    lines.append(f"  warm restart        : fresh process served at "
+                 f"{restart['l2_hit_rate']:.0%} L2 hit rate "
+                 f"({restart['designs']} designs, identical "
+                 f"{restart['identical']})")
     return "\n".join(lines)
 
 

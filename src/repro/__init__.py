@@ -26,10 +26,10 @@ __version__ = "1.0.0"
 
 from . import (analysis, apps, automata, codegen, comm, controllers,
                estimate, flow, graph, hls, partition, platform, schedule,
-               sim, spec, stg, workloads)  # noqa: F401
+               sim, spec, stg, store, workloads)  # noqa: F401
 
 __all__ = [
     "analysis", "apps", "automata", "codegen", "comm", "controllers",
     "estimate", "flow", "graph", "hls", "partition", "platform",
-    "schedule", "sim", "spec", "stg", "workloads", "__version__",
+    "schedule", "sim", "spec", "stg", "store", "workloads", "__version__",
 ]

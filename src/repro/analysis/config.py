@@ -17,7 +17,7 @@ __all__ = [
     "PAYLOAD_CLASSES", "PAYLOAD_SAFE_TYPES", "PAYLOAD_ATOMS",
     "KERNEL_CLASSES", "KERNEL_BUILDER_METHODS", "KERNEL_MEMO_ATTRIBUTES",
     "CONSTRUCTOR_METHODS", "STAGE_FACTORY_NAME", "MODULE_LEVEL_IO_CALLS",
-    "OS_ENVIRONMENT_READS",
+    "OS_ENVIRONMENT_READS", "SANCTIONED_IO_PATHS",
 ]
 
 # ---------------------------------------------------------------- DET
@@ -135,3 +135,19 @@ STAGE_FACTORY_NAME = "Stage"
 #: Importing a module must stay side-effect free: shard workers import
 #: the flow modules in every worker process.
 MODULE_LEVEL_IO_CALLS = frozenset({"open", "print", "exec", "eval"})
+
+#: Path fragments of modules whose *purpose* is file I/O: the
+#: persistent artifact store (``repro.store``) exists to fsync, rename,
+#: lock and mtime-clock files on disk, so the I/O-hostility of PUR405
+#: (no module-level I/O) and the clock/environment reach of DET102
+#: would condemn its reason for existing.  The carve-out is deliberately
+#: a *path* whitelist, not a rule switch: everything outside these
+#: paths keeps the full rule set, which is what keeps the flow layers
+#: pure -- they receive persistence by injection (``store_path=`` /
+#: ``store=``) instead of touching the filesystem themselves.  Order
+#: determinism (DET101/DET103) still applies inside the store: on-disk
+#: layout and eviction order must not depend on set iteration.
+#: ``tests/test_analysis.py`` proves the scope: the same I/O-bearing
+#: source lints clean under ``repro/store/`` and is flagged anywhere
+#: else.
+SANCTIONED_IO_PATHS = ("repro/store/",)

@@ -13,9 +13,23 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from ..config import SANCTIONED_IO_PATHS
+
 __all__ = ["is_set_expr", "call_name", "root_name", "const_str_tuple",
            "walk_scope", "function_defs", "annotation_class_names",
-           "scope_instance_classes"]
+           "scope_instance_classes", "sanctioned_io"]
+
+
+def sanctioned_io(path: str) -> bool:
+    """Is ``path`` inside the sanctioned-I/O carve-out?
+
+    True only for modules under :data:`~repro.analysis.config
+    .SANCTIONED_IO_PATHS` (the persistent artifact store): the I/O
+    rules (PUR405) and the process-state determinism rule (DET102)
+    skip these modules, everything else keeps the full rule set.
+    """
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in SANCTIONED_IO_PATHS)
 
 _SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
 _SET_METHODS = frozenset({"union", "intersection", "difference",

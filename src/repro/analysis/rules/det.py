@@ -29,7 +29,8 @@ from ..config import (FINGERPRINT_SEED_NAMES, NONDETERMINISTIC_BUILTINS,
                       STAGE_FACTORY_NAME)
 from ..findings import Finding
 from ..registry import rule
-from .common import call_name, is_set_expr, root_name, walk_scope
+from .common import (call_name, is_set_expr, root_name, sanctioned_io,
+                     walk_scope)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import ModuleContext
@@ -91,6 +92,12 @@ def _det101_finding(module: "ModuleContext", iter_node: ast.AST,
       "every input from content, never from the process")
 def det102_impure_fingerprint(module: "ModuleContext",
                               index: "ProjectIndex") -> Iterator[Finding]:
+    if sanctioned_io(module.path):
+        # repro.store: mtime clocks, pids and environment probes are the
+        # store's mechanism -- its keys arrive pre-fingerprinted, so no
+        # process state can leak into a fingerprint from here.  DET101/
+        # DET103 (order determinism) still apply in full.
+        return
     functions: dict[ast.FunctionDef, str] = {
         node: module.enclosing_symbol(node)
         for node in ast.walk(module.tree)

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Iterator, NamedTuple
 from ..config import MODULE_LEVEL_IO_CALLS, STAGE_FACTORY_NAME
 from ..findings import Finding
 from ..registry import rule
-from .common import call_name, const_str_tuple, walk_scope
+from .common import call_name, const_str_tuple, sanctioned_io, walk_scope
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import ModuleContext
@@ -193,6 +193,8 @@ def pur404_missing_outputs(module: "ModuleContext",
       "stay side-effect free")
 def pur405_import_side_effects(module: "ModuleContext",
                                index: "ProjectIndex") -> Iterator[Finding]:
+    if sanctioned_io(module.path):
+        return  # repro.store: file I/O is the module's purpose
     for statement in module.tree.body:
         if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
                                   ast.ClassDef, ast.Import,

@@ -13,6 +13,7 @@ generation (``to_fsm``):
 
 from __future__ import annotations
 
+from ..fingerprint import content_hash
 from .fsm import Fsm
 
 __all__ = ["Arbiter", "FixedPriorityArbiter", "RoundRobinArbiter"]
@@ -29,6 +30,19 @@ class Arbiter:
         if len(set(masters)) != len(masters):
             raise ValueError("duplicate master names")
         self.masters = list(masters)
+
+    def fingerprint(self) -> str:
+        """Content hash of the arbitration contract (policy + masters).
+
+        Arbiters are pipeline artifacts (the controllers stage emits
+        one), so they need a stable content fingerprint: the grant
+        policy and the master list fully determine the exported FSM and
+        therefore the codegen stage's input signature -- across
+        processes and store round-trips.  Scheduling state (the
+        round-robin pointer) is deliberately excluded: it is simulation
+        progress, not content.
+        """
+        return content_hash(("arbiter", self.policy, tuple(self.masters)))
 
     def grant(self, requests: set[str]) -> str | None:
         """Pick the winning master among ``requests`` (None if empty)."""

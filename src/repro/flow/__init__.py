@@ -1,7 +1,9 @@
 """The end-to-end COOL design flow (paper Fig. 1) and its pipeline engine."""
 
-from .pipeline import (FlowContext, PipelineError, PipelineExecutor, Stage,
-                       StageCache, fingerprint_of, stage_timer)
+from ..store import (ArtifactStore, PersistentCache, TieredCache)
+from .pipeline import (CacheTier, FlowContext, PipelineError,
+                       PipelineExecutor, Stage, StageCache, fingerprint_of,
+                       stage_timer)
 from .cool import CoolFlow, FlowResult, build_flow_stages, \
     select_eviction_victim
 from .batch import (JOB_TIMEOUT_SEMANTICS, BatchRunner, DesignPoint,
@@ -22,4 +24,5 @@ __all__ = ["CoolFlow", "FlowResult", "build_flow_stages",
            "JOB_TIMEOUT_SEMANTICS", "payload_check", "design_point_of",
            "ShardPlanner", "Shard", "ShardError", "ShardOutcome",
            "ShardSweepStats", "SweepResult", "sharded_sweep",
-           "reduce_shards", "map_reduce_sweep"]
+           "reduce_shards", "map_reduce_sweep",
+           "CacheTier", "ArtifactStore", "PersistentCache", "TieredCache"]

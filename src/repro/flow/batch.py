@@ -64,6 +64,7 @@ Choosing a backend
 from __future__ import annotations
 
 import copy
+import os
 import pickle
 import time
 from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
@@ -76,9 +77,10 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..graph.taskgraph import TaskGraph
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
+from ..store import ArtifactStore, PersistentCache, TieredCache
 from ..workloads.generators import WorkloadSpec
 from .cool import CoolFlow, FlowResult
-from .pipeline import StageCache
+from .pipeline import CacheTier, StageCache
 
 __all__ = ["FlowJob", "JobOutcome", "BatchRunner", "DesignPoint",
            "ExplorationResult", "DesignSpaceExplorer",
@@ -212,7 +214,27 @@ def _materialize_graph(job: FlowJob) -> TaskGraph:
     return job.graph if job.graph is not None else job.workload.build()
 
 
-def _run_job(job: FlowJob, stage_cache: StageCache | None) -> FlowResult:
+def _normalize_store(store: "str | os.PathLike | ArtifactStore | "
+                            "PersistentCache | None",
+                     ) -> tuple[PersistentCache | None, str | None]:
+    """``(persistent_cache, store_root_path)`` from any store spec.
+
+    The cache handle serves the in-process backends directly; the root
+    path is what crosses the process boundary for the pooled backends.
+    """
+    if store is None:
+        return None, None
+    if isinstance(store, PersistentCache):
+        return store, os.fspath(store.store.root)
+    if isinstance(store, ArtifactStore):
+        return PersistentCache(store), os.fspath(store.root)
+    if not isinstance(store, (str, os.PathLike)):
+        raise TypeError(f"store must be a path, ArtifactStore or "
+                        f"PersistentCache, got {type(store).__name__}")
+    return PersistentCache(ArtifactStore(store)), os.fspath(store)
+
+
+def _run_job(job: FlowJob, stage_cache: CacheTier | None) -> FlowResult:
     """Execute one job in a fresh flow (module-level for process pools)."""
     partitioner = copy.deepcopy(job.partitioner) \
         if job.partitioner is not None else None
@@ -224,9 +246,33 @@ def _run_job(job: FlowJob, stage_cache: StageCache | None) -> FlowResult:
                     deadline=job.deadline)
 
 
+#: Per-process memo of the tiers built by :func:`_store_tier`: one tier
+#: per store root, so every job a process-pool worker executes shares
+#: one L1 over the store instead of rebuilding handles per job.
+_STORE_TIERS: dict[str, TieredCache] = {}
+
+
+def _store_tier(store_path: str) -> TieredCache:
+    """The worker-local cache tier over a shared on-disk store.
+
+    The process backend cannot ship a live cache across its boundary,
+    so it ships the store *root path* instead and each worker process
+    lazily builds (and memoizes) its own L1-over-L2 tier on first use.
+    """
+    tier = _STORE_TIERS.get(store_path)
+    if tier is None:
+        tier = TieredCache(StageCache(),
+                           PersistentCache(ArtifactStore(store_path)))
+        _STORE_TIERS[store_path] = tier
+    return tier
+
+
 def _run_outcome(job: FlowJob,
-                 stage_cache: StageCache | None = None) -> JobOutcome:
+                 stage_cache: CacheTier | None = None,
+                 store_path: str | None = None) -> JobOutcome:
     started = time.perf_counter()
+    if stage_cache is None and store_path is not None:
+        stage_cache = _store_tier(store_path)
     try:
         result = _run_job(job, stage_cache)
     except Exception as exc:  # isolate failures per job
@@ -257,6 +303,17 @@ class BatchRunner:
         ``"shard"`` backends: their workers live in separate address
         spaces (the shard backend keeps one cache per worker process
         instead, initialized once and reused across its shards).
+    store:
+        Optional persistent artifact store (a path, an
+        :class:`~repro.store.ArtifactStore` or a
+        :class:`~repro.store.PersistentCache`) attached as the L2 tier
+        under the stage cache -- on *every* backend.  Serial and thread
+        sweeps run against a :class:`~repro.store.TieredCache` wrapping
+        ``stage_cache`` (or a fresh L1); the process and shard backends
+        ship the store root to their workers, which build their own L1
+        over the shared disk.  Cached stage results then survive the
+        process: a later sweep -- any backend, any worker count --
+        warm-starts from the store with bit-identical results.
     job_timeout:
         Optional per-job budget in seconds; the per-backend semantics
         are recorded once in :data:`JOB_TIMEOUT_SEMANTICS`.  In short:
@@ -289,7 +346,9 @@ class BatchRunner:
                  backend: str = "thread",
                  stage_cache: StageCache | None = None,
                  job_timeout: float | None = None,
-                 shards: int | None = None) -> None:
+                 shards: int | None = None,
+                 store: "str | os.PathLike | ArtifactStore | "
+                        "PersistentCache | None" = None) -> None:
         if shards is not None and backend == "thread":
             backend = "shard"  # the one-knob spelling: BatchRunner(shards=4)
         if backend not in ("thread", "process", "serial", "shard"):
@@ -304,7 +363,13 @@ class BatchRunner:
                              f"{job_timeout}")
         self.max_workers = max_workers
         self.backend = backend
-        self.stage_cache = stage_cache
+        l2, self.store_path = _normalize_store(store)
+        self.stage_cache: CacheTier | None = stage_cache
+        if l2 is not None and backend in ("serial", "thread"):
+            # in-process backends tier immediately; the process/shard
+            # backends ship store_path and tier inside their workers
+            self.stage_cache = TieredCache(
+                stage_cache if stage_cache is not None else StageCache(), l2)
         self.job_timeout = job_timeout
         self.shards = shards
         #: Map-reduce evidence of the most recent ``"shard"`` run
@@ -346,7 +411,8 @@ class BatchRunner:
         from .shard import sharded_sweep
         outcomes, self.shard_stats = sharded_sweep(
             jobs, shards=self.shards, max_workers=self.max_workers,
-            job_timeout=self.job_timeout, progress=progress)
+            job_timeout=self.job_timeout, progress=progress,
+            store_path=self.store_path)
         return outcomes
 
     #: How often the timeout loop re-checks for queued jobs entering
@@ -357,7 +423,10 @@ class BatchRunner:
                     progress: ProgressCallback | None) -> list[JobOutcome]:
         pool_cls = ThreadPoolExecutor if self.backend == "thread" \
             else ProcessPoolExecutor
+        # the process backend cannot share a live cache, but it can
+        # share the store: workers rebuild their own tier from the root
         cache = self.stage_cache if self.backend != "process" else None
+        store_path = self.store_path if self.backend == "process" else None
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
         done_count = 0
         abandoned = False
@@ -380,7 +449,8 @@ class BatchRunner:
             index_of: dict[Future, int] = {}
             for index, job in enumerate(jobs):
                 if outcomes[index] is None:
-                    index_of[pool.submit(_run_outcome, job, cache)] = index
+                    index_of[pool.submit(_run_outcome, job, cache,
+                                         store_path)] = index
             pending = set(index_of)
             started_at: dict[Future, float] = {}
             stuck: set[Future] = set()    # timed out but still on a worker

@@ -68,8 +68,9 @@ from ..sim.system import CoSimulation, SimResult
 from ..stg.builder import build_stg
 from ..stg.minimize import MinimizationReport, minimize_stg
 from ..stg.states import Stg
-from .pipeline import (FlowContext, PipelineExecutor, Stage, StageCache,
-                       stage_timer)
+from ..store import ArtifactStore, PersistentCache, TieredCache
+from .pipeline import (CacheTier, FlowContext, PipelineExecutor, Stage,
+                       StageCache, stage_timer)
 from .timing import DesignTimeModel, DesignTimeReport
 
 __all__ = ["CoolFlow", "FlowResult", "build_flow_stages",
@@ -113,6 +114,10 @@ class FlowResult:
     #: How often each pipeline stage actually executed during this run
     #: (0 = served entirely from the stage cache).
     stage_runs: dict[str, int] = field(default_factory=dict)
+    #: Window view of the flow's cache over this run
+    #: (:meth:`StageCache.stats`); tiered flows carry nested ``l1`` /
+    #: ``l2`` views plus the promotion count.
+    cache_stats: dict | None = None
 
     @property
     def makespan(self) -> int:
@@ -184,6 +189,14 @@ class FlowResult:
             lines.append(f"design time: {self.design_time.total_s / 60:.1f} "
                          f"min total, {self.design_time.hw_fraction:.0%} in "
                          f"hardware synthesis")
+        if self.cache_stats is not None and "l2" in self.cache_stats:
+            l1, l2 = self.cache_stats["l1"], self.cache_stats["l2"]
+            lines.append(
+                f"stage cache: {self.cache_stats['hit_rate']:.0%} of stage "
+                f"lookups served "
+                f"(L1 memory {l1['hits']}/{l1['hits'] + l1['misses']}, "
+                f"L2 store {l2['hits']}/{l2['hits'] + l2['misses']}, "
+                f"{self.cache_stats['promotions']} promoted)")
         return "\n".join(lines)
 
 
@@ -420,11 +433,12 @@ class CoolFlow:
                  reuse_memory: bool = True,
                  allow_direct_comm: bool = True,
                  design_time_model: DesignTimeModel | None = None,
-                 stage_cache: StageCache | None = None,
+                 stage_cache: CacheTier | None = None,
                  verify_composition: bool = True,
                  verify_max_states: int = DEFAULT_MAX_PRODUCT_STATES,
                  verify_strategy: str = "auto",
-                 simplify_guards: bool = True) -> None:
+                 simplify_guards: bool = True,
+                 store_path: "str | None" = None) -> None:
         self.arch = arch
         self.partitioner = partitioner if partitioner is not None \
             else self.default_partitioner()
@@ -451,14 +465,24 @@ class CoolFlow:
         self.design_time_model = design_time_model if design_time_model \
             is not None else DesignTimeModel()
         #: Shared across ``run`` calls of this flow (and across flows
-        #: when one cache instance is passed to several of them).
-        self.stage_cache = stage_cache if stage_cache is not None \
+        #: when one cache instance is passed to several of them).  With
+        #: ``store_path=`` the cache is tiered over a persistent
+        #: artifact store (:mod:`repro.store`): stage results are
+        #: fingerprint-keyed on disk, so an unchanged (graph, arch)
+        #: pair is served from the store even in a fresh process --
+        #: :meth:`FlowResult.report` then shows the per-tier hit rates.
+        cache: CacheTier = stage_cache if stage_cache is not None \
             else StageCache()
+        if store_path is not None:
+            cache = TieredCache(cache,
+                                PersistentCache(ArtifactStore(store_path)))
+        self.stage_cache = cache
 
     def run(self, graph: TaskGraph,
             stimuli: Mapping[str, list[int]] | None = None,
             deadline: int | None = None) -> FlowResult:
         """Run the full flow; ``stimuli`` enables co-simulation."""
+        cache_window = self.stage_cache.snapshot()
         executor = PipelineExecutor(build_flow_stages(),
                                     cache=self.stage_cache)
         ctx = FlowContext(graph=graph, arch=self.arch, deadline=deadline,
@@ -562,4 +586,5 @@ class CoolFlow:
             stage_seconds=dict(executor.stage_seconds),
             design_time=design_time,
             stage_runs=dict(executor.stage_runs),
+            cache_stats=self.stage_cache.stats(since=cache_window),
         )

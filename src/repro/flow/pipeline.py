@@ -17,6 +17,12 @@ gives that structure a first-class runtime:
   keyed by ``(stage name, input fingerprints)`` so re-running the flow
   on an unchanged (graph, architecture) pair costs a dictionary lookup.
 
+The executor accepts any :class:`~repro.store.tiered.CacheTier`, not
+just a :class:`StageCache`: the in-memory cache is the L1 tier of the
+stack, and wrapping it in a :class:`~repro.store.tiered.TieredCache`
+over a :class:`~repro.store.tiered.PersistentCache` makes stage outputs
+survive the process (see :mod:`repro.store`).
+
 Artifacts are treated as immutable once stored: a stage must never
 mutate an input in place, it returns fresh outputs instead.  The
 executor relies on that contract -- fingerprints are computed once at
@@ -36,9 +42,10 @@ from enum import Enum
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..fingerprint import content_hash
+from ..store.tiered import CacheTier
 
 __all__ = ["PipelineError", "stage_timer", "fingerprint_of", "Stage",
-           "FlowContext", "StageCache", "PipelineExecutor"]
+           "FlowContext", "StageCache", "CacheTier", "PipelineExecutor"]
 
 
 class PipelineError(RuntimeError):
@@ -291,16 +298,28 @@ class StageCache:
 
         Sharded sweeps run one cache per worker process; the reduce
         stage merges their per-shard windows into a single sweep-wide
-        report.  Counters and occupancy are summed (the caches are
-        disjoint), the hit rate is recomputed over the merged counters,
-        and ``caches`` records how many views were merged.
+        report.  The merge is shape-generic so tiered views fold too:
+        numeric counters are summed (per-process caches are disjoint;
+        a *shared* L2 store's occupancy therefore appears once per
+        worker view), nested per-tier mappings (``l1``/``l2``) are
+        merged recursively, the hit rate is recomputed over the merged
+        counters, and ``caches`` records how many views were merged.
         """
-        merged = {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0}
+        merged: dict = {"entries": 0, "max_entries": 0,
+                        "hits": 0, "misses": 0}
+        nested: dict[str, list[Mapping]] = {}
         caches = 0
         for entry in stats:
             caches += 1
-            for key in ("entries", "max_entries", "hits", "misses"):
-                merged[key] += entry.get(key, 0)
+            for key, value in entry.items():
+                if key in ("hit_rate", "caches"):
+                    continue  # recomputed / recounted below
+                if isinstance(value, Mapping):
+                    nested.setdefault(key, []).append(value)
+                elif isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+        for key, views in nested.items():
+            merged[key] = StageCache.merge_stats(views)
         total = merged["hits"] + merged["misses"]
         merged["hit_rate"] = round(merged["hits"] / total, 4) if total \
             else 0.0
@@ -320,13 +339,18 @@ class PipelineExecutor:
     them in declared order.  A stage actually runs only when the
     fingerprints of its inputs differ from the last execution; otherwise
     its previous outputs (still in the context, or in the cross-run
-    :class:`StageCache`) are reused.  ``stage_runs`` counts real
-    executions, ``stage_seconds`` accumulates wall-clock per stage --
-    cache hits cost only their lookup time.
+    cache tier) are reused.  ``stage_runs`` counts real executions,
+    ``stage_seconds`` accumulates wall-clock per stage -- cache hits
+    cost only their lookup time.
+
+    ``cache`` may be any :class:`~repro.store.tiered.CacheTier`: a bare
+    :class:`StageCache` (memory only) or a
+    :class:`~repro.store.tiered.TieredCache` whose persistent tier makes
+    warm starts survive the process.
     """
 
     def __init__(self, stages: Iterable[Stage],
-                 cache: StageCache | None = None) -> None:
+                 cache: CacheTier | None = None) -> None:
         self._order: list[Stage] = []
         self._producer: dict[str, Stage] = {}
         self._by_name: dict[str, Stage] = {}

@@ -22,7 +22,10 @@ is three explicit stages:
     :class:`~repro.workloads.WorkloadSpec` whose graph is built
     in-worker -- and each worker process owns one
     :class:`~repro.flow.pipeline.StageCache`, initialized once and
-    reused across every shard it executes.  Workers return
+    reused across every shard it executes.  With ``store_path=`` that
+    cache becomes the L1 tier over a shared persistent store
+    (:mod:`repro.store`), so workers warm-start from previous runs and
+    share stage results with each other through the disk.  Workers return
     :class:`JobSummary` values (a :class:`~repro.flow.batch.DesignPoint`
     plus error/timing/cache evidence), never fat flow artifacts.
 
@@ -54,11 +57,12 @@ from ..fingerprint import content_hash
 from ..graph.taskgraph import TaskGraph
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
+from ..store import ArtifactStore, PersistentCache, TieredCache
 from ..workloads.generators import WorkloadSpec
 from .batch import (DesignPoint, ExplorationResult, FlowJob, JobOutcome,
                     ProgressCallback, _run_outcome, design_point_of,
                     payload_check)
-from .pipeline import StageCache
+from .pipeline import CacheTier, StageCache
 
 __all__ = ["ShardError", "JobPayload", "JobSummary", "Shard",
            "ShardPlanner", "ShardOutcome", "ShardSweepStats", "SweepResult",
@@ -231,22 +235,47 @@ class ShardOutcome:
     cache_stats: dict
     pid: int
     front_indices: tuple[int, ...] = ()
+    #: True when the worker's cache was fabricated on first use because
+    #: the pool initializer never ran: the shard executed against a cold
+    #: default-size L1 with no persistent tier.  Reduce surfaces the
+    #: count as ``cold_fallbacks`` in the merged cache stats.
+    cache_fallback: bool = False
 
 
-#: Per-process state of a shard worker: one stage cache, initialized
+#: Per-process state of a shard worker: one cache tier, initialized
 #: once per process and shared by every shard the process executes.
-_WORKER_CACHE: StageCache | None = None
+#: With a ``store_path`` the tier is an L1 memory cache over the shared
+#: on-disk L2, so workers warm-start from every previous run.
+_WORKER_CACHE: CacheTier | None = None
+#: True when :func:`_worker_cache` had to fabricate the cache itself
+#: (the initializer never ran); echoed in every outcome of the worker.
+_WORKER_CACHE_FALLBACK = False
 
 
-def _init_worker(max_entries: int) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = StageCache(max_entries=max_entries)
+def _build_worker_cache(max_entries: int,
+                        store_path: str | None = None) -> CacheTier:
+    l1 = StageCache(max_entries=max_entries)
+    if store_path is None:
+        return l1
+    return TieredCache(l1, PersistentCache(ArtifactStore(store_path)))
 
 
-def _worker_cache() -> StageCache:
-    global _WORKER_CACHE
-    if _WORKER_CACHE is None:  # direct in-process call (tests, serial use)
+def _init_worker(max_entries: int, store_path: str | None = None) -> None:
+    global _WORKER_CACHE, _WORKER_CACHE_FALLBACK
+    _WORKER_CACHE = _build_worker_cache(max_entries, store_path)
+    _WORKER_CACHE_FALLBACK = False
+
+
+def _worker_cache() -> CacheTier:
+    global _WORKER_CACHE, _WORKER_CACHE_FALLBACK
+    if _WORKER_CACHE is None:
+        # the initializer never ran (direct in-process call, or a pool
+        # that skipped it): run against a cold default-size cache, but
+        # record the fallback -- every ShardOutcome of this process
+        # carries ``cache_fallback=True`` so the reduce stage can
+        # surface that its shards saw neither warm state nor the store.
         _WORKER_CACHE = StageCache(max_entries=DEFAULT_WORKER_CACHE_ENTRIES)
+        _WORKER_CACHE_FALLBACK = True
     return _WORKER_CACHE
 
 
@@ -290,13 +319,18 @@ def run_shard(shard: Shard,
     front = set(ExplorationResult(points=points).pareto())
     front_indices = tuple(s.index for s in summaries
                           if s.point is not None and s.point in front)
+    cache_stats = cache.stats(since=window)
+    # rides through the numeric merge of StageCache.merge_stats, so the
+    # sweep-wide view counts how many shards ran on a fallback cache
+    cache_stats["cold_fallbacks"] = int(_WORKER_CACHE_FALLBACK)
     return ShardOutcome(shard_index=shard.index,
                         fingerprint=shard.fingerprint(),
                         summaries=tuple(summaries),
                         seconds=time.perf_counter() - started,
-                        cache_stats=cache.stats(since=window),
+                        cache_stats=cache_stats,
                         pid=os.getpid(),
-                        front_indices=front_indices)
+                        front_indices=front_indices,
+                        cache_fallback=_WORKER_CACHE_FALLBACK)
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +427,7 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
                   job_timeout: float | None = None,
                   progress: ProgressCallback | None = None,
                   map_order: str = "planned",
+                  store_path: str | os.PathLike | None = None,
                   ) -> tuple[list[JobOutcome], ShardSweepStats]:
     """Plan, map and reduce a sweep; outcomes come back in input order.
 
@@ -402,6 +437,13 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
     "reversed") controls shard submission order and exists to *prove*
     order independence -- results are identical either way.  Progress
     streams per job, in shard completion order.
+
+    ``store_path`` attaches a shared persistent L2 tier (see
+    :mod:`repro.store`) under every worker's stage cache: workers of
+    *this* run share each other's stage results through the store, and
+    a later run -- any process, any shard count -- warm-starts from it.
+    Results stay bit-identical to a storeless serial sweep; the merged
+    ``stats.cache`` grows nested ``l1``/``l2`` views.
     """
     if map_order not in ("planned", "reversed"):
         raise ShardError(f"unknown map order {map_order!r}")
@@ -438,9 +480,10 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
     if plan:
         order = list(plan) if map_order == "planned" \
             else list(reversed(plan))
+        store_arg = os.fspath(store_path) if store_path is not None else None
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_worker,
-                initargs=(DEFAULT_WORKER_CACHE_ENTRIES,)) as pool:
+                initargs=(DEFAULT_WORKER_CACHE_ENTRIES, store_arg)) as pool:
             shard_of = {pool.submit(run_shard, shard, job_timeout): shard
                         for shard in order}
             for future in as_completed(shard_of):
@@ -470,7 +513,8 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
                                    point=summary.point))
     stats.shards = [{"shard": o.shard_index, "jobs": len(o.summaries),
                      "seconds": round(o.seconds, 6), "pid": o.pid,
-                     "cache": o.cache_stats}
+                     "cache": o.cache_stats,
+                     "cache_fallback": o.cache_fallback}
                     for o in sorted(shard_outcomes,
                                     key=lambda o: o.shard_index)]
     stats.reduce_seconds = time.perf_counter() - reduce_started
@@ -511,13 +555,16 @@ def map_reduce_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
                      max_workers: int | None = None,
                      job_timeout: float | None = None,
                      progress: ProgressCallback | None = None,
-                     map_order: str = "planned") -> SweepResult:
+                     map_order: str = "planned",
+                     store_path: str | os.PathLike | None = None,
+                     ) -> SweepResult:
     """One-call sharded sweep: jobs in, ranked :class:`SweepResult` out."""
     from .batch import _point_from
     outcomes, stats = sharded_sweep(jobs, shards=shards,
                                     max_workers=max_workers,
                                     job_timeout=job_timeout,
-                                    progress=progress, map_order=map_order)
+                                    progress=progress, map_order=map_order,
+                                    store_path=store_path)
     result = SweepResult(outcomes=outcomes, shard_stats=stats)
     point_of_index: dict[int, DesignPoint] = {}
     for index, outcome in enumerate(outcomes):

@@ -1,0 +1,28 @@
+"""Persistent content-addressed artifact store (``repro.store``).
+
+The disk half of the caching stack: crash-safe record files
+(:mod:`.record`), the size-bounded content-addressed store
+(:mod:`.disk`), advisory locking (:mod:`.locks`) and the cache tiers
+that plug the store into the pipeline executor (:mod:`.tiered`).
+
+This package is the one sanctioned home of file I/O in the repro tree
+(see ``repro.analysis.config.SANCTIONED_IO_PATHS``): everything above it
+stays pure and receives persistence by injection -- ``CoolFlow(
+store_path=...)``, ``BatchRunner(store=...)``, ``sharded_sweep(
+store_path=...)``.
+"""
+
+from .disk import DEFAULT_MAX_BYTES, ArtifactStore, StoreError
+from .locks import FileLock
+from .record import (MAGIC, STORE_SCHEMA_VERSION, RecordError, StoreRecord,
+                     decode_record, encode_record)
+from .tiered import (PIPELINE_CACHE_SCHEMA, CacheTier, PersistentCache,
+                     TieredCache, cache_key)
+
+__all__ = [
+    "ArtifactStore", "StoreError", "DEFAULT_MAX_BYTES", "FileLock",
+    "MAGIC", "STORE_SCHEMA_VERSION", "RecordError", "StoreRecord",
+    "encode_record", "decode_record",
+    "CacheTier", "PersistentCache", "TieredCache", "PIPELINE_CACHE_SCHEMA",
+    "cache_key",
+]

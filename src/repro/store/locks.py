@@ -1,0 +1,69 @@
+"""Advisory file locking for concurrent store writers.
+
+The artifact store serializes its index read-modify-write (and the
+eviction scan inside it) across *processes* with one advisory lock file
+per store root.  Object reads and the atomic temp-file+rename object
+writes deliberately do not take the lock: a reader either sees a full
+record or no record, and a rename either lands or loses the race to an
+identical record.
+
+On platforms without :mod:`fcntl` (non-POSIX) the lock degrades to a
+process-local :class:`threading.Lock` -- single-process safety is kept,
+cross-process exclusion is advisory anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+try:  # POSIX advisory locks; gated so the store stays importable anywhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """``with FileLock(path):`` -- exclusive advisory lock on ``path``.
+
+    Reentrant within a process is *not* supported (and not needed: the
+    store takes the lock at its public entry points only).  The in-process
+    :class:`threading.Lock` layered under the flock keeps threads of one
+    process from competing for the same file descriptor.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._thread_lock = threading.Lock()
+        self._fd: int | None = None
+
+    def __enter__(self) -> "FileLock":
+        self._thread_lock.acquire()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if fcntl is not None:
+                self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except BaseException:
+            self._release_fd()
+            self._thread_lock.release()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            self._release_fd()
+        finally:
+            self._thread_lock.release()
+
+    def _release_fd(self) -> None:
+        if self._fd is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None

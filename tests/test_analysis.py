@@ -361,6 +361,46 @@ class TestPurRules:
         assert result.clean
 
 
+# ------------------------------------------- sanctioned-I/O carve-out
+class TestSanctionedIoCarveOut:
+    """The ``repro/store/`` carve-out is scoped to exactly that path.
+
+    One I/O-and-clock-bearing source is linted under several paths: it
+    must come back clean under ``repro/store/`` (PUR405 and DET102 are
+    the store's sanctioned mechanism) and fully flagged anywhere else --
+    including a module merely *named* store outside the package.  The
+    order-determinism rules must keep applying inside the store.
+    """
+
+    IO_SOURCE = """
+        import time
+
+        handle = open("index.json")
+
+        def fingerprint(key):
+            return str(time.time()) + key
+        """
+
+    def test_store_path_is_sanctioned(self):
+        result, _ = run(self.IO_SOURCE, path="src/repro/store/disk.py")
+        assert result.clean
+
+    def test_flow_path_keeps_full_rules(self):
+        result, _ = run(self.IO_SOURCE, path="src/repro/flow/pipeline.py")
+        assert set(rule_ids(result)) == {"PUR405", "DET102"}
+
+    def test_store_named_module_outside_package_not_sanctioned(self):
+        result, _ = run(self.IO_SOURCE, path="src/repro/analysis/store.py")
+        assert set(rule_ids(result)) == {"PUR405", "DET102"}
+
+    def test_order_rules_still_apply_inside_store(self):
+        result, _ = run("""
+            def eviction_order(keys):
+                return [k for k in set(keys)]
+            """, path="src/repro/store/disk.py")
+        assert rule_ids(result) == ["DET101"]
+
+
 # ------------------------------------------------- suppressions/baseline
 class TestSuppressions:
     OFFENDING = """

@@ -30,8 +30,10 @@ class UnpicklablePartitioner(GreedyPartitioner):
 def _fresh_worker_cache():
     """In-process run_shard calls must not leak cache state across tests."""
     shard_mod._WORKER_CACHE = None
+    shard_mod._WORKER_CACHE_FALLBACK = False
     yield
     shard_mod._WORKER_CACHE = None
+    shard_mod._WORKER_CACHE_FALLBACK = False
 
 
 def _suite_jobs(count=6, seed=11):
@@ -267,6 +269,81 @@ class TestWorkerCache:
         outcome = run_shard(ShardPlanner(1).plan(payloads)[0])
         assert len(pickle.dumps(outcome)) < 4096, \
             "shard outcomes must never ship fat flow artifacts"
+
+
+class TestWorkerCacheFallback:
+    """Satellite: a worker whose initializer never ran used to fall back
+    to a cold cache *silently*; the fallback is now recorded on every
+    outcome and surfaced in the merged sweep stats."""
+
+    def test_direct_run_shard_records_the_fallback(self, jobs):
+        payloads = [payload_of(j, i) for i, j in enumerate(jobs[:2])]
+        outcome = run_shard(ShardPlanner(1).plan(payloads)[0])
+        assert outcome.cache_fallback
+        assert outcome.cache_stats["cold_fallbacks"] == 1
+
+    def test_initialized_worker_reports_no_fallback(self, jobs):
+        shard_mod._init_worker(shard_mod.DEFAULT_WORKER_CACHE_ENTRIES)
+        payloads = [payload_of(j, i) for i, j in enumerate(jobs[:2])]
+        outcome = run_shard(ShardPlanner(1).plan(payloads)[0])
+        assert not outcome.cache_fallback
+        assert outcome.cache_stats["cold_fallbacks"] == 0
+
+    def test_fallbacks_ride_the_numeric_merge(self, jobs):
+        payloads = [payload_of(j, i) for i, j in enumerate(jobs)]
+        plan = ShardPlanner(2).plan(payloads)
+        assert len(plan) == 2
+        _, cache, _ = reduce_shards(plan, [run_shard(s) for s in plan])
+        assert cache["cold_fallbacks"] == 2
+
+    def test_pooled_sweep_never_falls_back(self, jobs):
+        _, stats = sharded_sweep(jobs[:3], shards=2, max_workers=2)
+        assert stats.cache["cold_fallbacks"] == 0
+        assert stats.shards, "sweep must have produced shard rows"
+        assert all(not row["cache_fallback"] for row in stats.shards)
+
+
+class TestStoreBackedShards:
+    def test_fresh_worker_generation_warm_starts_from_store(self, jobs,
+                                                            tmp_path):
+        # generation 1 populates the store; generation 2 (fresh L1, same
+        # store -- what a restarted worker pool sees) re-runs nothing
+        store = tmp_path / "store"
+        payloads = [payload_of(j, i) for i, j in enumerate(jobs[:3])]
+        plan = ShardPlanner(1).plan(payloads)
+        shard_mod._init_worker(64, str(store))
+        cold = run_shard(plan[0])
+        shard_mod._init_worker(64, str(store))
+        warm = run_shard(plan[0])
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["l2"]["hits"] > 0
+        assert warm.cache_stats["hit_rate"] == 1.0
+        assert all(s.stage_runs == 0 for s in warm.summaries)
+        assert [s.point for s in warm.summaries] == \
+            [s.point for s in cold.summaries]
+
+    def test_store_backed_sweep_matches_serial(self, jobs, serial,
+                                               tmp_path):
+        store = tmp_path / "store"
+        cold = map_reduce_sweep(jobs, shards=2, max_workers=2,
+                                store_path=store)
+        assert cold.points == serial.points
+        assert cold.pareto() == serial.pareto()
+        # a second run -- fresh pool, different shard count -- is served
+        # from the store and still bit-identical
+        warm = map_reduce_sweep(jobs, shards=3, max_workers=2,
+                                store_path=store)
+        assert warm.points == serial.points
+        assert warm.ranked() == serial.ranked()
+        cache = warm.shard_stats.cache
+        assert cache["misses"] == 0
+        assert cache["l2"]["hits"] > 0
+        assert cache["hit_rate"] == 1.0
+        assert cache["cold_fallbacks"] == 0
+
+    def test_storeless_stats_have_no_tier_views(self, jobs):
+        _, stats = sharded_sweep(jobs[:2], shards=1, max_workers=1)
+        assert "l2" not in stats.cache
 
 
 class TestShardedExplorer:
