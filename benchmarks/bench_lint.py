@@ -29,15 +29,17 @@ from repro.analysis import Baseline, all_rules, lint_sources
 RESULTS_PATH = REPO_ROOT / "BENCH_lint.json"
 BASELINE_PATH = REPO_ROOT / "lint_baseline.json"
 
-EXPECTED_FAMILIES = ("DET", "FRZ", "PKL", "PUR")
+EXPECTED_FAMILIES = ("DET", "FRZ", "OBS", "PKL", "PUR")
 
 #: One offense per family: the linter must catch all of them.
 VIOLATION_FIXTURE = textwrap.dedent("""
     import time
     from dataclasses import dataclass
+    from repro.obs import span as obs_span
 
     def fingerprint(x):
-        return (time.time(), [i for i in set(x)])
+        with obs_span("hash", kind="stage"):
+            return (time.time(), [i for i in set(x)])
 
     @dataclass
     class JobPayload:

@@ -25,11 +25,11 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import (analysis, apps, automata, codegen, comm, controllers,
-               estimate, flow, graph, hls, partition, platform, schedule,
-               sim, spec, stg, store, workloads)  # noqa: F401
+               estimate, flow, graph, hls, obs, partition, platform,
+               schedule, sim, spec, stg, store, workloads)  # noqa: F401
 
 __all__ = [
     "analysis", "apps", "automata", "codegen", "comm", "controllers",
-    "estimate", "flow", "graph", "hls", "partition", "platform",
+    "estimate", "flow", "graph", "hls", "obs", "partition", "platform",
     "schedule", "sim", "spec", "stg", "store", "workloads", "__version__",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "KERNEL_CLASSES", "KERNEL_BUILDER_METHODS", "KERNEL_MEMO_ATTRIBUTES",
     "CONSTRUCTOR_METHODS", "STAGE_FACTORY_NAME", "MODULE_LEVEL_IO_CALLS",
     "OS_ENVIRONMENT_READS", "SANCTIONED_IO_PATHS",
+    "OBS_MODULE_NAME", "OBS_TRACING_NAMES", "OBS_EXEMPT_PATHS",
 ]
 
 # ---------------------------------------------------------------- DET
@@ -151,3 +152,26 @@ MODULE_LEVEL_IO_CALLS = frozenset({"open", "print", "exec", "eval"})
 #: source lints clean under ``repro/store/`` and is flagged anywhere
 #: else.
 SANCTIONED_IO_PATHS = ("repro/store/",)
+
+# ---------------------------------------------------------------- OBS
+#: Package name of the observability subsystem (:mod:`repro.obs`).
+#: Imports whose origin ends in this module are obs imports.
+OBS_MODULE_NAME = "obs"
+
+#: The *tracing* half of the obs API: spans carry wall-clock starts,
+#: durations and pids, so any value derived from them is
+#: nondeterministic by construction.  OBS501 bans these names from
+#: fingerprint-reachable and stage-body code -- instrumentation must
+#: wrap the pipeline from the outside (executor, flow driver, batch
+#: runner), never sit inside what a fingerprint can see.  The metrics
+#: half (``MetricsRegistry`` and friends) is timestamp-free and is
+#: deliberately NOT listed.
+OBS_TRACING_NAMES = frozenset({
+    "span", "record", "Span", "Tracer", "activate", "current_tracer",
+    "tracing_active",
+})
+
+#: The obs package itself is exempt from OBS501 (it *is* the tracing
+#: API), mirroring the SANCTIONED_IO_PATHS pattern: a path carve-out,
+#: not a rule switch.
+OBS_EXEMPT_PATHS = ("repro/obs/",)

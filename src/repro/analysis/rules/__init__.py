@@ -6,6 +6,6 @@ import; :func:`~repro.analysis.registry.all_rules` imports this package
 lazily so the registry is always complete before the engine runs.
 """
 
-from . import det, frz, pkl, pur  # noqa: F401  (registration imports)
+from . import det, frz, obs, pkl, pur  # noqa: F401  (registration imports)
 
-__all__ = ["det", "frz", "pkl", "pur"]
+__all__ = ["det", "frz", "obs", "pkl", "pur"]

@@ -85,6 +85,7 @@ from ..automata import (AutomataError, LazyStepSystem,
                         symbolic_trace_equivalence, weak_bisimilar)
 from ..automata.product import (ProductEnvironment, composition_stepper,
                                 reachable_automaton, synchronous_product)
+from ..obs import span as obs_span
 from ..stg.interp import StgExecutor
 from ..stg.states import StateKind, Stg
 from .system_controller import (PHASE_DONE_STATE, ControllerHarness,
@@ -962,6 +963,25 @@ def verify_composition(stg: Stg, controller: SystemController,
         raise ValueError(f"unknown verification strategy {strategy!r}")
     if activations < 1:
         raise ValueError("verification needs at least one activation")
+    with obs_span("verify", kind="verify", strategy=strategy) as vspan:
+        check = _verify_dispatch(stg, controller, graph, environments,
+                                 max_cycles, activations, max_states,
+                                 strategy)
+        vspan.set("tier", check.tier)
+        vspan.set("equivalent", check.equivalent)
+        vspan.set("pairs_checked", check.pairs_checked)
+        vspan.set("image_iterations", check.image_iterations)
+        vspan.set("bdd_nodes", check.bdd_nodes)
+        vspan.set("product_states", check.product_states)
+        vspan.set("projections_checked", check.projections_checked)
+        return check
+
+
+def _verify_dispatch(stg: Stg, controller: SystemController, graph,
+                     environments: int, max_cycles: int, activations: int,
+                     max_states: int, strategy: str) -> CompositionCheck:
+    """Tier selection and fallback, shared by every caller of
+    :func:`verify_composition` (which wraps it in the verify span)."""
     fallback_reason: str | None = None
     if strategy in ("auto", "symbolic"):
         try:

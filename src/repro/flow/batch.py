@@ -34,20 +34,28 @@ repeated suites -- reuse each other's stage results.
 
 Choosing a backend
 ------------------
+Every backend emits one ``repro.obs`` span per job when a tracer is
+active (:func:`repro.obs.activate`), so backend choice never costs
+visibility -- only the span *fidelity* differs, as noted per backend.
 ``"serial"``
     Fastest for sub-second jobs (no pool overhead) and the reference
     semantics every other backend must reproduce bit-identically.
+    Per-job spans nest fully: each job span contains its flow, stage
+    and store spans.
 ``"thread"``
     Buys *orchestration*, not speed: per-job failure isolation,
     streaming progress and ``job_timeout`` on a shared address space
     (one shared ``stage_cache`` serves every job).  The flow is pure
     Python, so threads serialize on the GIL -- a thread sweep measures
     at or below serial throughput (``BENCH_workload_sweep.json``).
+    Per-job spans are recorded at completion time from the outcome's
+    measured duration (worker threads run outside the sweep tracer).
 ``"process"``
     True parallelism, paid for per *job*: every job payload is pickled
     in and every (large, ~75 KB) ``FlowResult`` is pickled back, so it
     only wins when per-job compute (minute-scale MILP solves) dwarfs
     the result-pickling cost.  Payloads must pass :func:`payload_check`.
+    Per-job spans are completion-time records, like ``"thread"``.
 ``"shard"``
     True parallelism for *sweeps*: jobs are reduced to compact payloads
     (ideally a :class:`~repro.workloads.WorkloadSpec` built in-worker),
@@ -59,6 +67,9 @@ Choosing a backend
     scales with cores (``BENCH_shard_sweep.json``).  Use ``shards=`` to
     control the partition count.  The trade: outcomes carry summaries,
     not ``FlowResult`` artifacts -- rank and reduce, don't introspect.
+    Per-job (and nested stage/store) spans are recorded *inside* the
+    worker processes, shipped back compactly in ``ShardOutcome.spans``
+    and re-parented into the coordinator's trace under per-shard spans.
 """
 
 from __future__ import annotations
@@ -67,6 +78,7 @@ import copy
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import (FIRST_COMPLETED, CancelledError, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor,
                                 wait)
@@ -75,6 +87,8 @@ from itertools import product
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..graph.taskgraph import TaskGraph
+from ..obs import record as obs_record
+from ..obs import span as obs_span
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
 from ..store import ArtifactStore, PersistentCache, TieredCache
@@ -89,6 +103,34 @@ __all__ = ["FlowJob", "JobOutcome", "BatchRunner", "DesignPoint",
 #: Signature of the streaming progress hook:
 #: ``callback(outcome, done_count, total)``, invoked in completion order.
 ProgressCallback = Callable[["JobOutcome", int, int], None]
+
+
+class _ProgressGuard:
+    """Isolate ``progress`` callback failures from the sweep itself.
+
+    A progress hook is an *observer*: a bug in it must not abort a sweep
+    whose jobs all succeeded.  Every backend routes its callback through
+    this wrapper, which swallows callback exceptions, warns on the first
+    failure only, and keeps invoking the callback for later completions
+    (a hook may choke on one outcome yet handle the rest fine).
+    """
+
+    __slots__ = ("_callback", "_warned")
+
+    def __init__(self, callback: ProgressCallback) -> None:
+        self._callback = callback
+        self._warned = False
+
+    def __call__(self, outcome: "JobOutcome", done: int, total: int) -> None:
+        try:
+            self._callback(outcome, done, total)
+        except Exception as exc:
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"progress callback raised {type(exc).__name__}: {exc} "
+                    f"-- the sweep continues; further callback errors are "
+                    f"suppressed silently", RuntimeWarning, stacklevel=2)
 
 #: Per-backend semantics of ``BatchRunner(job_timeout=...)`` -- the one
 #: authoritative record; docstrings, the shard layer and the tests all
@@ -389,6 +431,8 @@ class BatchRunner:
         """
         jobs = list(jobs)
         total = len(jobs)
+        if progress is not None and not isinstance(progress, _ProgressGuard):
+            progress = _ProgressGuard(progress)
         # only the serial backend runs in-process: the pool backends
         # keep their semantics (timeout, pickling isolation, no shared
         # cache across processes) even for single-job or single-worker
@@ -396,7 +440,10 @@ class BatchRunner:
         if self.backend == "serial" or total == 0:
             outcomes = []
             for done, job in enumerate(jobs, start=1):
-                outcome = _run_outcome(job, self.stage_cache)
+                with obs_span("job", kind="job", job=job.name,
+                              backend="serial") as job_span:
+                    outcome = _run_outcome(job, self.stage_cache)
+                    job_span.set("ok", outcome.ok)
                 outcomes.append(outcome)
                 if progress is not None:
                     progress(outcome, done, total)
@@ -444,6 +491,9 @@ class BatchRunner:
         try:
             for index in rejected:
                 done_count += 1
+                obs_record("job", kind="job", duration=0.0,
+                           job=outcomes[index].job.name,
+                           backend=self.backend, ok=False, rejected=True)
                 if progress is not None:
                     progress(outcomes[index], done_count, len(jobs))
             index_of: dict[Future, int] = {}
@@ -460,6 +510,12 @@ class BatchRunner:
                 nonlocal done_count
                 outcomes[index_of[future]] = outcome
                 done_count += 1
+                # pool workers run outside this thread's tracer, so the
+                # per-job span is recorded at completion time from the
+                # outcome's own measured duration
+                obs_record("job", kind="job", duration=outcome.seconds,
+                           job=outcome.job.name, backend=self.backend,
+                           ok=outcome.ok)
                 if progress is not None:
                     progress(outcome, done_count, len(jobs))
 

@@ -59,6 +59,7 @@ from ..graph.partition import Partition
 from ..graph.taskgraph import TaskGraph
 from ..graph.validate import check_graph
 from ..hls.driver import SharedDatapathResult, synthesize_resource
+from ..obs import span as obs_span
 from ..partition.base import (Partitioner, PartitioningProblem,
                               PartitionResult, evaluate_mapping)
 from ..partition.milp import MilpPartitioner
@@ -482,6 +483,16 @@ class CoolFlow:
             stimuli: Mapping[str, list[int]] | None = None,
             deadline: int | None = None) -> FlowResult:
         """Run the full flow; ``stimuli`` enables co-simulation."""
+        with obs_span("flow", kind="flow", graph=graph.name,
+                      arch=self.arch.name) as flow_span:
+            result = self._run(graph, stimuli, deadline)
+            flow_span.set("stages_run", sum(result.stage_runs.values()))
+            flow_span.set("cache_hits", result.cache_stats.get("hits", 0))
+            return result
+
+    def _run(self, graph: TaskGraph,
+             stimuli: Mapping[str, list[int]] | None,
+             deadline: int | None) -> FlowResult:
         cache_window = self.stage_cache.snapshot()
         executor = PipelineExecutor(build_flow_stages(),
                                     cache=self.stage_cache)

@@ -42,6 +42,8 @@ from enum import Enum
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..fingerprint import content_hash
+from ..obs import MetricsRegistry
+from ..obs import span as obs_span
 from ..store.tiered import CacheTier
 
 __all__ = ["PipelineError", "stage_timer", "fingerprint_of", "Stage",
@@ -231,8 +233,19 @@ class StageCache:
         self._entries: OrderedDict[tuple, dict[str, tuple[Any, str]]] = \
             OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("hits")
+        self._misses = self.metrics.counter("misses")
+
+    @property
+    def hits(self) -> int:
+        """Lifetime hit count (alias onto the metrics registry)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lifetime miss count (alias onto the metrics registry)."""
+        return self._misses.value
 
     def get(self, stage: str,
             signature: tuple[str, ...]) -> dict[str, tuple[Any, str]] | None:
@@ -240,10 +253,10 @@ class StageCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits.inc()
             return entry
 
     def put(self, stage: str, signature: tuple[str, ...],
@@ -427,23 +440,26 @@ class PipelineExecutor:
         if self.cache is not None:
             cached = self.cache.get(stage.name, signature)
             if cached is not None:
-                with stage_timer(stage.name, self.stage_seconds):
-                    for key, (value, fp) in cached.items():
-                        ctx.put_fingerprinted(key, value, fp)
+                with obs_span(stage.name, kind="stage", cache="hit"):
+                    with stage_timer(stage.name, self.stage_seconds):
+                        for key, (value, fp) in cached.items():
+                            ctx.put_fingerprinted(key, value, fp)
                 self._last_inputs[stage.name] = signature
                 self.cache_hits[stage.name] += 1
                 return
-        with stage_timer(stage.name, self.stage_seconds):
-            produced = stage.run(ctx)
-        missing = [k for k in stage.outputs if k not in produced]
-        if missing:
-            raise PipelineError(f"stage {stage.name!r} did not produce "
-                                f"declared outputs {missing}")
-        for key in stage.outputs:
-            ctx.put(key, produced[key])
-        self._last_inputs[stage.name] = signature
-        self.stage_runs[stage.name] = self.stage_runs.get(stage.name, 0) + 1
-        if self.cache is not None:
-            self.cache.put(stage.name, signature,
-                           {k: (ctx.get(k), ctx.fingerprint(k))
-                            for k in stage.outputs})
+        with obs_span(stage.name, kind="stage", cache="miss"):
+            with stage_timer(stage.name, self.stage_seconds):
+                produced = stage.run(ctx)
+            missing = [k for k in stage.outputs if k not in produced]
+            if missing:
+                raise PipelineError(f"stage {stage.name!r} did not produce "
+                                    f"declared outputs {missing}")
+            for key in stage.outputs:
+                ctx.put(key, produced[key])
+            self._last_inputs[stage.name] = signature
+            self.stage_runs[stage.name] = \
+                self.stage_runs.get(stage.name, 0) + 1
+            if self.cache is not None:
+                self.cache.put(stage.name, signature,
+                               {k: (ctx.get(k), ctx.fingerprint(k))
+                                for k in stage.outputs})

@@ -50,11 +50,14 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..fingerprint import content_hash
 from ..graph.taskgraph import TaskGraph
+from ..obs import Tracer, activate, current_tracer
+from ..obs import span as obs_span
 from ..partition.base import Partitioner
 from ..platform.architecture import TargetArchitecture
 from ..store import ArtifactStore, PersistentCache, TieredCache
@@ -240,6 +243,12 @@ class ShardOutcome:
     #: default-size L1 with no persistent tier.  Reduce surfaces the
     #: count as ``cold_fallbacks`` in the merged cache stats.
     cache_fallback: bool = False
+    #: Compact in-worker trace rows (:meth:`repro.obs.Tracer.compact`):
+    #: the job/flow/stage/store spans this shard recorded inside its
+    #: worker process.  Empty unless the coordinator requested tracing
+    #: (``run_shard(..., trace=True)``); the coordinator re-parents the
+    #: rows into its own trace under a per-shard span.
+    spans: tuple = ()
 
 
 #: Per-process state of a shard worker: one cache tier, initialized
@@ -280,7 +289,8 @@ def _worker_cache() -> CacheTier:
 
 
 def run_shard(shard: Shard,
-              job_timeout: float | None = None) -> ShardOutcome:
+              job_timeout: float | None = None,
+              trace: bool = False) -> ShardOutcome:
     """Execute one shard against the worker-local cache (the map body).
 
     Jobs run through the same :func:`~repro.flow.batch._run_outcome`
@@ -289,30 +299,44 @@ def run_shard(shard: Shard,
     :data:`~repro.flow.batch.JOB_TIMEOUT_SEMANTICS`: checked when each
     job returns, expired jobs are reported failed and their results
     discarded, and the shard continues.
+
+    With ``trace=True`` (set by the coordinator when *it* is tracing) a
+    worker-local :class:`~repro.obs.Tracer` is active for the duration
+    of the shard: every job span -- and the flow/stage/store spans
+    nested inside it -- is recorded in-worker and shipped back as
+    compact rows in ``ShardOutcome.spans`` for re-parenting.
     """
+    tracer = Tracer() if trace else None
     cache = _worker_cache()
     window = cache.snapshot()
     started = time.perf_counter()
     summaries: list[JobSummary] = []
-    for payload in shard.payloads:
-        outcome = _run_outcome(payload.to_job(), cache)
-        error = outcome.error
-        if error is None and job_timeout is not None \
-                and outcome.seconds >= job_timeout:
-            error = (f"TimeoutError: job exceeded {job_timeout}s budget "
-                     f"(shard backend is non-preemptive: the job ran to "
-                     f"completion in {outcome.seconds:.3f}s and its result "
-                     f"was discarded)")
-        point = None
-        stage_runs = 0
-        if error is None:
-            point = design_point_of(outcome.result, payload.label,
-                                    payload.deadline)
-            stage_runs = sum(outcome.result.stage_runs.values())
-        summaries.append(JobSummary(index=payload.index, label=payload.label,
-                                    point=point, error=error,
-                                    seconds=outcome.seconds,
-                                    stage_runs=stage_runs))
+    with activate(tracer) if trace else nullcontext():
+        for payload in shard.payloads:
+            with obs_span("job", kind="job", job=payload.label,
+                          backend="shard",
+                          shard=shard.index) as job_span:
+                outcome = _run_outcome(payload.to_job(), cache)
+                error = outcome.error
+                if error is None and job_timeout is not None \
+                        and outcome.seconds >= job_timeout:
+                    error = (f"TimeoutError: job exceeded {job_timeout}s "
+                             f"budget (shard backend is non-preemptive: "
+                             f"the job ran to completion in "
+                             f"{outcome.seconds:.3f}s and its result "
+                             f"was discarded)")
+                job_span.set("ok", error is None)
+            point = None
+            stage_runs = 0
+            if error is None:
+                point = design_point_of(outcome.result, payload.label,
+                                        payload.deadline)
+                stage_runs = sum(outcome.result.stage_runs.values())
+            summaries.append(JobSummary(index=payload.index,
+                                        label=payload.label,
+                                        point=point, error=error,
+                                        seconds=outcome.seconds,
+                                        stage_runs=stage_runs))
     # shard-local Pareto candidates: the reduce stage merges these
     # instead of recomputing dominance over every point from scratch
     points = [s.point for s in summaries if s.point is not None]
@@ -330,7 +354,8 @@ def run_shard(shard: Shard,
                         cache_stats=cache_stats,
                         pid=os.getpid(),
                         front_indices=front_indices,
-                        cache_fallback=_WORKER_CACHE_FALLBACK)
+                        cache_fallback=_WORKER_CACHE_FALLBACK,
+                        spans=tracer.compact() if tracer is not None else ())
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +474,22 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
         raise ShardError(f"unknown map order {map_order!r}")
     jobs = list(jobs)
     total = len(jobs)
+    with obs_span("sharded_sweep", kind="flow", backend="shard",
+                  jobs=total) as sweep_span:
+        outcomes, stats = _sharded_sweep(jobs, shards, max_workers,
+                                         job_timeout, progress, map_order,
+                                         store_path)
+        sweep_span.set("shards", stats.planned_shards)
+        sweep_span.set("workers", stats.workers)
+        return outcomes, stats
+
+
+def _sharded_sweep(jobs: list[FlowJob], shards: int | None,
+                   max_workers: int | None, job_timeout: float | None,
+                   progress: ProgressCallback | None, map_order: str,
+                   store_path: str | os.PathLike | None,
+                   ) -> tuple[list[JobOutcome], ShardSweepStats]:
+    total = len(jobs)
     outcomes: list[JobOutcome | None] = [None] * total
     done_count = 0
 
@@ -481,10 +522,14 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
         order = list(plan) if map_order == "planned" \
             else list(reversed(plan))
         store_arg = os.fspath(store_path) if store_path is not None else None
+        # when the coordinator is tracing, workers trace too: each shard
+        # records its spans locally and ships them back in the outcome
+        tracer = current_tracer()
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_worker,
                 initargs=(DEFAULT_WORKER_CACHE_ENTRIES, store_arg)) as pool:
-            shard_of = {pool.submit(run_shard, shard, job_timeout): shard
+            shard_of = {pool.submit(run_shard, shard, job_timeout,
+                                    tracer is not None): shard
                         for shard in order}
             for future in as_completed(shard_of):
                 shard = shard_of[future]
@@ -494,6 +539,14 @@ def sharded_sweep(jobs: Sequence[FlowJob], shards: int | None = None,
                     failures[shard.index] = f"{type(exc).__name__}: {exc}"
                     continue
                 shard_outcomes.append(outcome)
+                if tracer is not None:
+                    shard_span = tracer.record(
+                        f"shard[{outcome.shard_index}]", kind="shard",
+                        duration=outcome.seconds, shard=outcome.shard_index,
+                        jobs=len(outcome.summaries), pid=outcome.pid)
+                    tracer.adopt(outcome.spans,
+                                 parent_id=shard_span.span_id,
+                                 start_at=shard_span.start)
                 # stream per-job progress as each shard completes; the
                 # reduce below re-verifies the full plan coverage
                 _check_shard_outcome(shard, outcome)

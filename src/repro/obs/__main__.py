@@ -1,0 +1,30 @@
+"""CLI: ``python -m repro.obs report trace.jsonl [--top N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import load_trace
+from .report import render_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs trace files")
+    commands = parser.add_subparsers(dest="command", required=True)
+    report_cmd = commands.add_parser(
+        "report", help="render per-stage breakdown, critical path and "
+                       "slowest spans from a JSONL trace")
+    report_cmd.add_argument("trace", help="path to a trace .jsonl file")
+    report_cmd.add_argument("--top", type=int, default=10,
+                            help="slowest-span count (default %(default)s)")
+    args = parser.parse_args(argv)
+    spans = load_trace(args.trace)
+    print(render_report(spans, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Deterministic JSONL trace export and the canonical (scrubbed) view.
+
+One span per line, keys sorted, so two traces can be compared with
+plain text tools.  The only nondeterministic fields a span carries are
+declared once here (``NONDETERMINISTIC_FIELDS``); everything else --
+ids, parent links, names, kinds, attributes -- is reproducible run to
+run for a deterministic flow, which :func:`canonical_trace` turns into
+a directly comparable structure (the trace-determinism tests diff two
+canonical traces produced under different ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Sequence
+
+from .span import Span, Tracer
+
+__all__ = ["NONDETERMINISTIC_FIELDS", "span_to_dict", "write_trace",
+           "dump_trace", "load_trace", "canonical_trace"]
+
+#: Span fields that legitimately differ between two runs of the same
+#: deterministic flow.  ``start``/``duration`` are wall-clock;
+#: ``pid`` identifies the recording process.  Everything else must
+#: reproduce exactly.
+NONDETERMINISTIC_FIELDS = ("start", "duration", "pid")
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "start": round(span.start, 9),
+        "duration": round(span.duration, 9),
+        "pid": span.pid,
+        "attributes": dict(sorted(span.attributes.items())),
+    }
+
+
+def dump_trace(spans: Iterable[Span]) -> str:
+    """Spans as JSONL text: one sorted-keys JSON object per line."""
+    return "".join(json.dumps(span_to_dict(span), sort_keys=True) + "\n"
+                   for span in spans)
+
+
+def write_trace(tracer_or_spans: Tracer | Sequence[Span],
+                path: str | os.PathLike) -> int:
+    """Write a trace file; returns the number of spans written."""
+    if isinstance(tracer_or_spans, Tracer):
+        spans = tracer_or_spans.spans()
+    else:
+        spans = list(tracer_or_spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_trace(spans))
+    return len(spans)
+
+
+def load_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Read a JSONL trace back as a list of span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def canonical_trace(spans: Iterable[dict[str, Any] | Span]) -> list[dict]:
+    """The deterministic projection of a trace.
+
+    Drops every field in :data:`NONDETERMINISTIC_FIELDS` and sorts
+    each span's remaining keys; two runs of the same deterministic
+    flow must produce equal canonical traces.
+    """
+    out = []
+    for span in spans:
+        record = span_to_dict(span) if isinstance(span, Span) else dict(span)
+        for field in NONDETERMINISTIC_FIELDS:
+            record.pop(field, None)
+        record["attributes"] = dict(sorted(
+            (record.get("attributes") or {}).items()))
+        out.append(dict(sorted(record.items())))
+    return out

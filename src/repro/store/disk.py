@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from itertools import count
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from ..obs import MetricsRegistry
+from ..obs import record as obs_record
+from ..obs import span as obs_span
 from .locks import FileLock
 from .record import RecordError, StoreRecord, decode_record, encode_record
 
@@ -106,12 +108,35 @@ class ArtifactStore:
         self._lock = FileLock(self.root / ".lock")
         for directory in (self._objects, self._tmp, self._quarantine_dir):
             directory.mkdir(parents=True, exist_ok=True)
-        self._counter_lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.quarantined = 0
-        self.invalidated = 0
+        #: Per-handle event counters (:class:`repro.obs.MetricsRegistry`):
+        #: local to this handle, merged across workers by the shard
+        #: reduce.  Pre-created so :meth:`stats` always reports all five.
+        self.metrics = MetricsRegistry()
+        for name in ("hits", "misses", "evictions", "quarantined",
+                     "invalidated"):
+            self.metrics.counter(name)
+
+    # -- counter aliases: the pre-obs instance attributes, kept so the
+    # -- BENCH gates and existing callers read unchanged -----------------
+    @property
+    def hits(self) -> int:
+        return self.metrics.counter("hits").value
+
+    @property
+    def misses(self) -> int:
+        return self.metrics.counter("misses").value
+
+    @property
+    def evictions(self) -> int:
+        return self.metrics.counter("evictions").value
+
+    @property
+    def quarantined(self) -> int:
+        return self.metrics.counter("quarantined").value
+
+    @property
+    def invalidated(self) -> int:
+        return self.metrics.counter("invalidated").value
 
     # ------------------------------------------------------------------
     # paths
@@ -120,8 +145,7 @@ class ArtifactStore:
         return self._objects / key[:2] / f"{key}.rec"
 
     def _count(self, counter: str, delta: int = 1) -> None:
-        with self._counter_lock:
-            setattr(self, counter, getattr(self, counter) + delta)
+        self.metrics.counter(counter).inc(delta)
 
     # ------------------------------------------------------------------
     # read path (lock-free)
@@ -131,32 +155,39 @@ class ArtifactStore:
         if not _is_hex_key(key):
             raise StoreError(f"malformed store key {key!r}")
         path = self._object_path(key)
-        try:
-            blob = path.read_bytes()
-        except (FileNotFoundError, NotADirectoryError):
-            self._count("misses")
-            return None
-        except OSError:  # unreadable: treat as damage
-            self._quarantine(path, key, "unreadable object file")
-            self._count("misses")
-            return None
-        try:
-            record = decode_record(blob)
-        except RecordError as reason:
-            self._quarantine(path, key, str(reason))
-            self._count("misses")
-            return None
-        if record.key != key:
-            self._quarantine(path, key,
-                             f"record answers key {record.key!r}")
-            self._count("misses")
-            return None
-        try:  # LRU clock: a hit makes the record recently-used
-            os.utime(path)
-        except OSError:
-            pass  # concurrently evicted: the bytes in hand stay valid
-        self._count("hits")
-        return record
+        with obs_span("store.get", kind="store", key=key[:12]) as span:
+            try:
+                blob = path.read_bytes()
+            except (FileNotFoundError, NotADirectoryError):
+                self._count("misses")
+                span.set("result", "miss")
+                return None
+            except OSError:  # unreadable: treat as damage
+                self._quarantine(path, key, "unreadable object file")
+                self._count("misses")
+                span.set("result", "quarantined")
+                return None
+            try:
+                record = decode_record(blob)
+            except RecordError as reason:
+                self._quarantine(path, key, str(reason))
+                self._count("misses")
+                span.set("result", "quarantined")
+                return None
+            if record.key != key:
+                self._quarantine(path, key,
+                                 f"record answers key {record.key!r}")
+                self._count("misses")
+                span.set("result", "quarantined")
+                return None
+            try:  # LRU clock: a hit makes the record recently-used
+                os.utime(path)
+            except OSError:
+                pass  # concurrently evicted: the bytes in hand stay valid
+            self._count("hits")
+            span.set("result", "hit")
+            span.set("bytes", len(blob))
+            return record
 
     def __contains__(self, key: str) -> bool:
         return self._object_path(key).exists()
@@ -172,21 +203,23 @@ class ArtifactStore:
         blob = encode_record(key, payload, schema, meta)
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self._tmp / f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
-        try:
-            with open(tmp, "wb") as handle:
-                handle.write(blob)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
-        _fsync_directory(path.parent)
-        with self._lock:
-            index = self._load_index_locked()
-            index["entries"][key] = len(blob)
-            self._evict_locked(index, protect=key)
-            self._write_index_locked(index)
+        with obs_span("store.put", kind="store", key=key[:12],
+                      bytes=len(blob)):
+            tmp = self._tmp / f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+            _fsync_directory(path.parent)
+            with self._lock:
+                index = self._load_index_locked()
+                index["entries"][key] = len(blob)
+                self._evict_locked(index, protect=key)
+                self._write_index_locked(index)
 
     def invalidate(self, key: str) -> None:
         """Drop one record (e.g. its payload no longer deserializes)."""
@@ -201,6 +234,8 @@ class ArtifactStore:
     # quarantine: damage is preserved for inspection, never re-served
     # ------------------------------------------------------------------
     def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        obs_record("store.quarantine", kind="store", key=key[:12],
+                   reason=reason)
         destination = self._quarantine_dir / (
             f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.rec")
         try:
@@ -288,6 +323,7 @@ class ArtifactStore:
             self._object_path(key).unlink(missing_ok=True)
             total -= entries.pop(key)
             self._count("evictions")
+            obs_record("store.evict", kind="store", key=key[:12])
 
     # ------------------------------------------------------------------
     # introspection
@@ -307,11 +343,7 @@ class ArtifactStore:
         with self._lock:
             index = self._load_index_locked()
         entries = index["entries"]
-        with self._counter_lock:
-            return {"entries": len(entries),
-                    "bytes": sum(entries.values()),
-                    "max_bytes": self.max_bytes,
-                    "hits": self.hits, "misses": self.misses,
-                    "evictions": self.evictions,
-                    "quarantined": self.quarantined,
-                    "invalidated": self.invalidated}
+        return {"entries": len(entries),
+                "bytes": sum(entries.values()),
+                "max_bytes": self.max_bytes,
+                **self.metrics.snapshot()}

@@ -30,6 +30,9 @@ import hashlib
 import pickle
 from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
 
+from ..obs import MetricsRegistry
+from ..obs import record as obs_record
+from ..obs import span as obs_span
 from .disk import ArtifactStore
 
 __all__ = ["CacheTier", "PersistentCache", "TieredCache",
@@ -83,53 +86,80 @@ class PersistentCache:
     merges the per-worker windows.
     """
 
+    #: Counter names, also the keys of :meth:`snapshot`.
+    _COUNTERS = ("hits", "misses", "unstorable", "decode_failures")
+
     def __init__(self, store: ArtifactStore,
                  schema: int = PIPELINE_CACHE_SCHEMA) -> None:
         self.store = store
         self.schema = schema
-        self.hits = 0
-        self.misses = 0
-        self.unstorable = 0
-        self.decode_failures = 0
+        self.metrics = MetricsRegistry()
+        for name in self._COUNTERS:
+            self.metrics.counter(name)
+
+    # -- counter aliases onto the metrics registry ----------------------
+    @property
+    def hits(self) -> int:
+        return self.metrics.counter("hits").value
+
+    @property
+    def misses(self) -> int:
+        return self.metrics.counter("misses").value
+
+    @property
+    def unstorable(self) -> int:
+        return self.metrics.counter("unstorable").value
+
+    @property
+    def decode_failures(self) -> int:
+        return self.metrics.counter("decode_failures").value
 
     # -- CacheTier -----------------------------------------------------
     def get(self, stage: str,
             signature: tuple[str, ...]) -> dict[str, tuple[Any, str]] | None:
-        record = self.store.get(cache_key(stage, signature, self.schema))
-        if record is None or record.schema != self.schema:
-            self.misses += 1
-            return None
-        try:
-            rows = pickle.loads(record.payload)
-            outputs = {str(key): (value, str(fingerprint))
-                       for key, value, fingerprint in rows}
-        except Exception:  # stale pickle (renamed class, ...): drop it
-            self.store.invalidate(record.key)
-            self.decode_failures += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return outputs
+        with obs_span("cache.get", kind="cache", tier="l2",
+                      stage=stage) as span:
+            record = self.store.get(cache_key(stage, signature, self.schema))
+            if record is None or record.schema != self.schema:
+                self.metrics.counter("misses").inc()
+                span.set("result", "miss")
+                return None
+            try:
+                rows = pickle.loads(record.payload)
+                outputs = {str(key): (value, str(fingerprint))
+                           for key, value, fingerprint in rows}
+            except Exception:  # stale pickle (renamed class, ...): drop it
+                self.store.invalidate(record.key)
+                self.metrics.counter("decode_failures").inc()
+                self.metrics.counter("misses").inc()
+                span.set("result", "decode_failure")
+                return None
+            self.metrics.counter("hits").inc()
+            span.set("result", "hit")
+            return outputs
 
     def put(self, stage: str, signature: tuple[str, ...],
             outputs: dict[str, tuple[Any, str]]) -> None:
-        rows = sorted((key, value, fingerprint)
-                      for key, (value, fingerprint) in outputs.items())
-        try:
-            payload = pickle.dumps(rows, protocol=_PICKLE_PROTOCOL)
-        except Exception:  # unpicklable artifact: skip, never raise
-            self.unstorable += 1
-            return
-        self.store.put(cache_key(stage, signature, self.schema), payload,
-                       self.schema,
-                       meta={"stage": stage,
-                             "outputs": sorted(outputs)})
+        with obs_span("cache.put", kind="cache", tier="l2",
+                      stage=stage) as span:
+            rows = sorted((key, value, fingerprint)
+                          for key, (value, fingerprint) in outputs.items())
+            try:
+                payload = pickle.dumps(rows, protocol=_PICKLE_PROTOCOL)
+            except Exception:  # unpicklable artifact: skip, never raise
+                self.metrics.counter("unstorable").inc()
+                span.set("result", "unstorable")
+                return
+            span.set("bytes", len(payload))
+            self.store.put(cache_key(stage, signature, self.schema),
+                           payload, self.schema,
+                           meta={"stage": stage,
+                                 "outputs": sorted(outputs)})
 
     # -- counter window protocol ----------------------------------------
     def snapshot(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "unstorable": self.unstorable,
-                "decode_failures": self.decode_failures}
+        return {name: self.metrics.counter(name).value
+                for name in self._COUNTERS}
 
     def stats(self, since: Mapping | None = None) -> dict:
         counters = self.snapshot()
@@ -167,7 +197,13 @@ class TieredCache:
     def __init__(self, l1: CacheTier, l2: PersistentCache) -> None:
         self.l1 = l1
         self.l2 = l2
-        self.promotions = 0
+        self.metrics = MetricsRegistry()
+        self.metrics.counter("promotions")
+
+    @property
+    def promotions(self) -> int:
+        """L2-to-L1 promotion count (alias onto the metrics registry)."""
+        return self.metrics.counter("promotions").value
 
     # -- CacheTier -----------------------------------------------------
     def get(self, stage: str,
@@ -178,7 +214,8 @@ class TieredCache:
         outputs = self.l2.get(stage, signature)
         if outputs is not None:
             self.l1.put(stage, signature, outputs)
-            self.promotions += 1
+            self.metrics.counter("promotions").inc()
+            obs_record("cache.promote", kind="cache", stage=stage)
         return outputs
 
     def put(self, stage: str, signature: tuple[str, ...],

@@ -136,6 +136,40 @@ class TestStreamingRunner:
             _jobs()[:2], progress=lambda o, d, t: events.append((d, t)))
         assert events == [(1, 2), (2, 2)]
 
+    def test_progress_callback_failure_does_not_abort_sweep(self):
+        # a buggy observer must never sink a sweep whose jobs all
+        # succeeded: the exception is swallowed, warned about once, and
+        # later completions keep streaming to the same callback
+        events = []
+
+        def progress(outcome, done, total):
+            events.append((outcome.job.label, done))
+            if done == 1:
+                raise RuntimeError("observer bug")
+
+        with pytest.warns(RuntimeWarning, match="progress callback"):
+            outcomes = BatchRunner(max_workers=4).run(
+                _jobs(), progress=progress)
+        assert [o.job.label for o in outcomes] == \
+            ["eq/greedy", "eq/milp", "fuzzy/greedy", "eq/cosim"]
+        assert all(o.ok for o in outcomes)
+        assert [d for _, d in events] == [1, 2, 3, 4]
+
+    def test_progress_callback_warns_once_for_repeat_failures(self):
+        import warnings as _warnings
+
+        def progress(outcome, done, total):
+            raise RuntimeError("always broken")
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            outcomes = BatchRunner(backend="serial").run(
+                _jobs()[:3], progress=progress)
+        assert all(o.ok for o in outcomes)
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+
     def test_process_pickling_failure_is_isolated(self):
         # the pickling error surfaces on the future, *outside*
         # _run_outcome's try/except -- it must still become one failed

@@ -225,6 +225,55 @@ class TestPipelineExecutor:
         assert merged["caches"] == 0
         assert merged["hit_rate"] == 0.0
 
+    def test_merge_stats_of_mixed_tiered_and_flat_views(self):
+        # shard reduce may see tiered views (store-backed workers) and
+        # flat views (memory-only workers) in the same sweep: numeric
+        # counters sum, nested l1/l2 tiers merge recursively, and the
+        # top-level hit rate is recomputed over the merged counters
+        tiered = {"hits": 4, "misses": 1, "promotions": 2,
+                  "l1": {"entries": 3, "max_entries": 64,
+                         "hits": 2, "misses": 3},
+                  "l2": {"hits": 2, "misses": 1, "entries": 9,
+                         "bytes": 4096, "evictions": 0,
+                         "quarantined": 0, "hit_rate": 0.6667}}
+        flat = {"entries": 5, "max_entries": 64, "hits": 1, "misses": 4,
+                "hit_rate": 0.2}
+        merged = StageCache.merge_stats([tiered, flat])
+        assert merged["caches"] == 2
+        assert merged["hits"] == 5 and merged["misses"] == 5
+        assert merged["hit_rate"] == 0.5
+        assert merged["promotions"] == 2
+        # the flat view's entries stay top-level; the tiered view's
+        # occupancy lives in its nested tiers
+        assert merged["entries"] == 5
+        assert merged["l1"] == {"entries": 3, "max_entries": 64,
+                                "hits": 2, "misses": 3,
+                                "hit_rate": 0.4, "caches": 1}
+        assert merged["l2"]["hits"] == 2
+        assert merged["l2"]["bytes"] == 4096
+        assert merged["l2"]["hit_rate"] == round(2 / 3, 4)
+        assert merged["l2"]["caches"] == 1
+
+    def test_merge_stats_mixed_with_empty_view(self):
+        views = [{"entries": 2, "max_entries": 64, "hits": 3, "misses": 1},
+                 {}]
+        merged = StageCache.merge_stats(views)
+        assert merged["caches"] == 2
+        assert merged["hits"] == 3 and merged["misses"] == 1
+        assert merged["hit_rate"] == 0.75
+
+    def test_merge_stats_of_two_tiered_views(self):
+        view = {"hits": 2, "misses": 2, "promotions": 1,
+                "l1": {"entries": 1, "max_entries": 8,
+                       "hits": 1, "misses": 3},
+                "l2": {"hits": 1, "misses": 2, "entries": 4}}
+        merged = StageCache.merge_stats([view, view])
+        assert merged["caches"] == 2
+        assert merged["hits"] == 4 and merged["misses"] == 4
+        assert merged["l1"]["caches"] == 2
+        assert merged["l1"]["hits"] == 2 and merged["l1"]["misses"] == 6
+        assert merged["l2"]["entries"] == 8  # shared store counted per view
+
 
 class _AllHardware(Partitioner):
     """Force every internal node onto the first FPGA (ignores area)."""
